@@ -1,0 +1,108 @@
+"""§I-B decoder shoot-out — MN vs basis pursuit vs OMP vs AMP.
+
+The paper compares MN against the compressed-sensing family analytically;
+here we run them on identical (design, y) instances and sweep the query
+budget.  Expected shape: all decoders reach exact recovery with enough
+queries; MN is competitive with the CS baselines on the additive-count
+channel at these sizes; and every decoder beats random guessing everywhere.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.baselines.amp import amp_decode
+from repro.baselines.lp import basis_pursuit_decode
+from repro.baselines.omp import omp_decode
+from repro.core.design import PoolingDesign
+from repro.core.mn import mn_reconstruct
+from repro.core.signal import exact_recovery, random_signal
+from repro.util.asciiplot import format_table
+
+N, K = 250, 5
+MS = (60, 120, 200, 300)
+TRIALS = 10
+
+DECODERS = {
+    "MN": lambda d, y: mn_reconstruct(d, y, K),
+    "LP": lambda d, y: basis_pursuit_decode(d, y, K),
+    "OMP": lambda d, y: omp_decode(d, y, K),
+    "AMP": lambda d, y: amp_decode(d, y, K).sigma_hat,
+}
+
+
+@pytest.fixture(scope="module")
+def shootout(repro_seed):
+    rows = []
+    for m in MS:
+        rates = {name: 0 for name in DECODERS}
+        for t in range(TRIALS):
+            rng = np.random.default_rng(repro_seed + 1009 * m + t)
+            sigma = random_signal(N, K, rng)
+            design = PoolingDesign.sample(N, m, rng)
+            y = design.query_results(sigma)
+            for name, decode in DECODERS.items():
+                rates[name] += exact_recovery(sigma, decode(design, y))
+        rows.append({"m": m, **{name: rates[name] / TRIALS for name in DECODERS}})
+    return rows
+
+
+def test_baselines_regenerate(benchmark, repro_seed):
+    """Time one instance through all four decoders."""
+
+    def one_instance():
+        rng = np.random.default_rng(repro_seed)
+        sigma = random_signal(N, K, rng)
+        design = PoolingDesign.sample(N, 200, rng)
+        y = design.query_results(sigma)
+        return [decode(design, y) for decode in DECODERS.values()]
+
+    out = benchmark.pedantic(one_instance, rounds=3, iterations=1)
+    assert len(out) == 4
+
+
+def test_all_decoders_reach_recovery(shootout, check):
+    @check
+    def _():
+        """With a generous budget every decoder recovers reliably."""
+        emit(
+            "Decoder shoot-out (n=250, k=5)",
+            format_table(
+                ["m"] + list(DECODERS),
+                [(r["m"], *(f"{r[name]:.2f}" for name in DECODERS)) for r in shootout],
+            ),
+        )
+        final = shootout[-1]
+        for name in DECODERS:
+            assert final[name] >= 0.9, f"{name} failed at m={final['m']}"
+
+
+def test_success_improves_with_budget(shootout, check):
+    @check
+    def _():
+        """Success rates at the largest m dominate those at the smallest m."""
+        first, last = shootout[0], shootout[-1]
+        for name in DECODERS:
+            assert last[name] >= first[name]
+
+
+def test_mn_competitive_at_its_threshold(shootout, check):
+    @check
+    def _():
+        """MN matches the CS baselines once its own threshold is met.
+
+        Below m_MN the LP/OMP/AMP decoders — which exploit the full count
+        structure per instance rather than a global thresholding rule —
+        genuinely win (an expected finding, recorded in EXPERIMENTS.md);
+        from m ≈ m_MN upward MN closes the gap.
+        """
+        from repro.core.signal import k_to_theta
+        from repro.core.thresholds import m_mn_threshold
+
+        # 1.5x covers Theorem 1's (1+ε) slack plus the §V finite-size term.
+        threshold = 1.5 * m_mn_threshold(N, k_to_theta(N, K), k=K)
+        for row in shootout:
+            if row["m"] >= threshold:
+                best = max(row[name] for name in DECODERS)
+                assert row["MN"] >= best - 0.2, f"MN lags at m={row['m']}: {row}"
+

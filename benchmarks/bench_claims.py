@@ -1,0 +1,61 @@
+"""In-text claims ("Table A") — §VI's 99%-overlap cell and companions."""
+
+import pytest
+
+from conftest import emit
+from repro.experiments.claims import run_claim_table
+from repro.util.asciiplot import format_table
+
+
+@pytest.fixture(scope="module")
+def claims(workers, repro_seed):
+    return run_claim_table(trials=100, root_seed=repro_seed, workers=workers, csv_name="claims")
+
+
+def test_claims_regenerate(benchmark, workers, repro_seed):
+    rows = benchmark.pedantic(
+        lambda: run_claim_table(trials=10, root_seed=repro_seed, workers=workers, csv_name=None),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(rows) == 2
+
+
+def test_claim_sec6_overlap_cell(claims, check):
+    @check
+    def _():
+        """Paper: 'on average 99% of one-entries with 220 queries, n=1000, θ=0.3'.
+
+        We hold the *shape*: overlap is high (>0.9) while exact recovery is
+        still unreliable.  The measured absolute value (~0.94, CI printed) runs
+        a few points below the paper's 0.99 — recorded in EXPERIMENTS.md.
+        """
+        row = next(r for r in claims if r.label == "sec6_99pct_overlap")
+        emit(
+            "Table A (in-text claims)",
+            format_table(
+                ["claim", "paper", "measured overlap", "95% CI", "success"],
+                [
+                    (
+                        r.label,
+                        f"{r.paper_value:.2f}",
+                        f"{r.measured_overlap.mean:.3f}",
+                        f"[{r.measured_overlap.lo:.3f}, {r.measured_overlap.hi:.3f}]",
+                        f"{r.measured_success.mean:.2f}",
+                    )
+                    for r in claims
+                ],
+            ),
+        )
+        assert row.measured_overlap.mean >= 0.90
+        assert row.measured_success.mean < 0.95  # exact recovery NOT yet reliable there
+
+
+def test_claim_recovery_above_threshold(claims, check):
+    @check
+    def _():
+        """At 1.3x the Theorem-1 count, recovery is mostly exact (finite-n slack)."""
+        row = next(r for r in claims if r.label == "thm1_recovery")
+        assert row.measured_overlap.mean >= 0.95
+        assert row.measured_success.mean >= 0.6
+

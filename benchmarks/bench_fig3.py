@@ -1,0 +1,98 @@
+"""Fig. 3 — success rate vs m, panels n=1000 and n=10^4 (scaled).
+
+Paper: S-curves from 0 to 1; the 50% crossing sits near (right of, for
+small n) the Theorem-1 threshold; larger θ crosses at larger m.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.core.thresholds import m_mn_threshold
+from repro.experiments.fig3 import run_fig3
+from repro.util.asciiplot import format_table
+
+THETAS = (0.1, 0.2, 0.3, 0.4)
+
+
+@pytest.fixture(scope="module")
+def panel_1000(workers, repro_seed):
+    return run_fig3(
+        n=1000,
+        thetas=THETAS,
+        ms=(20, 40, 80, 160, 240, 320, 420, 540, 680, 840, 1000),
+        trials=10,
+        root_seed=repro_seed,
+        workers=workers,
+        csv_name="fig3_n1000",
+    )
+
+
+@pytest.fixture(scope="module")
+def panel_10000(workers, repro_seed):
+    return run_fig3(
+        n=10_000,
+        thetas=(0.2, 0.3, 0.4),
+        ms=(400, 900, 1500, 2200, 3000),
+        trials=5,
+        root_seed=repro_seed + 1,
+        workers=workers,
+        csv_name="fig3_n10000",
+    )
+
+
+def test_fig3_regenerate(benchmark, workers, repro_seed):
+    """Time a small slice of the panel sweep."""
+    series = benchmark.pedantic(
+        lambda: run_fig3(n=1000, thetas=(0.3,), ms=(200, 600), trials=4, root_seed=repro_seed, workers=workers),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(series) == 1
+
+
+def _print_panel(series, title):
+    rows = []
+    for s in series:
+        for p in s.points:
+            rows.append((s.theta, p.m, f"{p.success.mean:.2f}"))
+    emit(title, format_table(["theta", "m", "success"], rows))
+
+
+def test_fig3_n1000_s_curves(panel_1000, check):
+    @check
+    def _():
+        """Each θ-curve rises from ~0 to ~1 across the panel range."""
+        _print_panel(panel_1000, "Fig. 3 left (n=1000)")
+        for s in panel_1000:
+            assert s.points[0].success.mean <= 0.35, f"theta={s.theta} already succeeding at m={s.points[0].m}"
+            assert s.points[-1].success.mean >= 0.8, f"theta={s.theta} never succeeds"
+
+
+def test_fig3_n1000_theta_ordering(panel_1000, check):
+    @check
+    def _():
+        """Larger θ crosses 50% at larger m (paper's visual ordering)."""
+        crossings = [s.crossing_m(0.5) for s in sorted(panel_1000, key=lambda s: s.theta)]
+        assert all(c is not None for c in crossings)
+        assert crossings == sorted(crossings)
+
+
+def test_fig3_n1000_crossing_near_threshold(panel_1000, check):
+    @check
+    def _():
+        """50% crossing within a small factor of the Thm-1 line (small-n shift right)."""
+        for s in panel_1000:
+            c = s.crossing_m(0.5)
+            theory = m_mn_threshold(1000, s.theta)
+            assert 0.5 * theory <= c <= 3.5 * theory, f"theta={s.theta}: crossing {c} vs theory {theory:.0f}"
+
+
+def test_fig3_n10000_panel(panel_10000, check):
+    @check
+    def _():
+        """Scaled right panel: same S-curve shape at n=10^4."""
+        _print_panel(panel_10000, "Fig. 3 right (n=10^4, scaled)")
+        for s in panel_10000:
+            assert s.points[-1].success.mean >= 0.8
+            assert s.points[-1].success.mean >= s.points[0].success.mean
+

@@ -1,0 +1,76 @@
+"""Fig. 4 — overlap vs m (same grid as Fig. 3, overlap projection).
+
+Paper: nearly all one-entries are identified well before exact recovery
+becomes likely; overlap curves dominate success curves pointwise.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.experiments.fig4 import overlap_leads_success, run_fig4
+from repro.util.asciiplot import format_table
+
+THETAS = (0.1, 0.2, 0.3, 0.4)
+
+
+@pytest.fixture(scope="module")
+def panel(workers, repro_seed):
+    return run_fig4(
+        n=1000,
+        thetas=THETAS,
+        ms=(20, 40, 80, 160, 240, 320, 420, 540, 680, 840, 1000),
+        trials=10,
+        root_seed=repro_seed,
+        workers=workers,
+        csv_name="fig4_n1000",
+    )
+
+
+def test_fig4_regenerate(benchmark, workers, repro_seed):
+    series = benchmark.pedantic(
+        lambda: run_fig4(n=1000, thetas=(0.3,), ms=(200, 600), trials=4, root_seed=repro_seed, workers=workers),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(series) == 1
+
+
+def test_fig4_overlap_dominates_success(panel, check):
+    @check
+    def _():
+        """At every grid point, overlap ≥ exact-success rate."""
+        rows = []
+        for s in panel:
+            for p in s.points:
+                rows.append((s.theta, p.m, f"{p.overlap.mean:.3f}", f"{p.success.mean:.2f}"))
+                assert p.overlap.mean >= p.success.mean - 1e-12
+        emit("Fig. 4 (n=1000)", format_table(["theta", "m", "overlap", "success"], rows))
+
+
+def test_fig4_overlap_reaches_090_early(panel, check):
+    @check
+    def _():
+        """Overlap hits 0.9 no later than exact success does (paper's point)."""
+        for s in panel:
+            assert overlap_leads_success(s, level=0.9), f"theta={s.theta}"
+
+
+def test_fig4_overlap_high_at_panel_end(panel, check):
+    @check
+    def _():
+        """By the right edge of the panel overlap is essentially 1."""
+        for s in panel:
+            assert s.points[-1].overlap.mean >= 0.97
+
+
+def test_fig4_overlap_monotone_trend(panel, check):
+    @check
+    def _():
+        """Overlap increases with m, modulo small-sample noise."""
+        for s in panel:
+            means = [p.overlap.mean for p in s.points]
+            # Non-strict trend: θ=0.1 saturates almost immediately.
+            assert means[-1] >= means[0]
+            violations = sum(1 for a, b in zip(means, means[1:]) if b < a - 0.05)
+            assert violations <= 1, f"theta={s.theta}: {means}"
+

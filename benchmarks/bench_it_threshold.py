@@ -1,0 +1,62 @@
+"""Theorem 2 ablation — empirical uniqueness phase transition at c = 2.
+
+The paper proves (but does not simulate) that the number of consistent
+signals drops to one once m = c·k·ln(n/k)/ln k with c > 2.  At small n the
+exhaustive decoder measures P[unique] directly.
+"""
+
+import pytest
+
+from conftest import emit
+from repro.experiments.itcheck import run_it_threshold
+from repro.util.asciiplot import format_table
+
+CS = (0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0)
+
+
+@pytest.fixture(scope="module")
+def transition(workers, repro_seed):
+    return run_it_threshold(n=30, k=3, cs=CS, trials=24, root_seed=repro_seed, workers=workers, csv_name="it_threshold")
+
+
+def test_it_regenerate(benchmark, workers, repro_seed):
+    pts = benchmark.pedantic(
+        lambda: run_it_threshold(n=24, k=3, cs=(1.0, 3.0), trials=8, root_seed=repro_seed, workers=workers, csv_name=None),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(pts) == 2
+
+
+def test_it_transition_shape(transition, check):
+    @check
+    def _():
+        """P[unique] transitions from ≈0 to ≈1 across the c-sweep."""
+        emit(
+            "Theorem 2 phase transition (n=30, k=3)",
+            format_table(
+                ["c", "m", "P[unique]", "95% CI"],
+                [(p.c, p.m, f"{p.unique.mean:.2f}", f"[{p.unique.lo:.2f}, {p.unique.hi:.2f}]") for p in transition],
+            ),
+        )
+        assert transition[0].unique.mean <= 0.25  # far below threshold
+        assert transition[-1].unique.mean >= 0.9  # far above threshold
+
+
+def test_it_supercritical_saturates(transition, check):
+    @check
+    def _():
+        """Everything at c ≥ 2.5 is (near-)certain uniqueness."""
+        for p in transition:
+            if p.c >= 2.5:
+                assert p.unique.mean >= 0.85
+
+
+def test_it_monotone_trend(transition, check):
+    @check
+    def _():
+        """Uniqueness probability grows with c (noise tolerance: one dip)."""
+        means = [p.unique.mean for p in transition]
+        violations = sum(1 for a, b in zip(means, means[1:]) if b < a - 0.1)
+        assert violations <= 1, means
+

@@ -1,0 +1,94 @@
+"""Microbenchmarks of the hot kernels (regression tracking, not a figure).
+
+Covers: MT19937-64 raw generation, design sampling, the batched Ψ/Δ*
+accumulation kernel, CSR mat-vec vs SciPy, and parallel top-k — the pieces
+whose throughput determines every sweep above.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.design import PoolingDesign, stream_design_stats
+from repro.core.signal import random_signal
+from repro.parallel.matvec import CSRMatrix
+from repro.parallel.sort import parallel_sample_sort, parallel_top_k
+from repro.rng.mt19937 import MT19937_64
+
+
+class TestRNGKernels:
+    def test_mt19937_64_bulk(self, benchmark):
+        gen = MT19937_64(5489)
+        out = benchmark(lambda: gen.random_raw(1 << 16))
+        assert out.size == 1 << 16
+
+    def test_numpy_pcg_reference(self, benchmark):
+        """Reference point: NumPy's C-level PCG64 on the same workload."""
+        gen = np.random.default_rng(5489)
+        out = benchmark(lambda: gen.integers(0, 2**63, 1 << 16, dtype=np.int64))
+        assert out.size == 1 << 16
+
+
+class TestDesignKernels:
+    def test_design_sampling(self, benchmark):
+        rng = np.random.default_rng(0)
+        design = benchmark(lambda: PoolingDesign.sample(10_000, 100, rng))
+        assert design.m == 100
+
+    def test_stream_stats_kernel(self, benchmark):
+        sigma = random_signal(10_000, 16, np.random.default_rng(0))
+        stats = benchmark(lambda: stream_design_stats(sigma, 200, root_seed=1))
+        assert stats.m == 200
+
+    def test_query_results(self, benchmark):
+        rng = np.random.default_rng(1)
+        sigma = random_signal(10_000, 16, rng)
+        design = PoolingDesign.sample(10_000, 500, rng)
+        y = benchmark(lambda: design.query_results(sigma))
+        assert y.shape == (500,)
+
+
+class TestLinalgKernels:
+    @pytest.fixture(scope="class")
+    def csr_pair(self):
+        rng = np.random.default_rng(2)
+        dense = rng.random((2000, 1500))
+        dense[dense > 0.05] = 0.0
+        ours = CSRMatrix.from_dense(dense)
+        ref = sp.csr_matrix(dense)
+        x = rng.random(1500)
+        return ours, ref, x
+
+    def test_csr_matvec_ours(self, benchmark, csr_pair):
+        ours, _, x = csr_pair
+        out = benchmark(lambda: ours.matvec(x))
+        assert out.shape == (2000,)
+
+    def test_csr_matvec_scipy_reference(self, benchmark, csr_pair):
+        _, ref, x = csr_pair
+        out = benchmark(lambda: ref @ x)
+        assert out.shape == (2000,)
+
+    def test_csr_close_to_scipy(self, csr_pair):
+        ours, ref, x = csr_pair
+        assert np.allclose(ours.matvec(x), ref @ x)
+
+
+class TestSortKernels:
+    def test_sample_sort(self, benchmark):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(200_000)
+        out = benchmark(lambda: parallel_sample_sort(x, blocks=8))
+        assert out.size == x.size
+
+    def test_numpy_sort_reference(self, benchmark):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(200_000)
+        out = benchmark(lambda: np.sort(x))
+        assert out.size == x.size
+
+    def test_top_k(self, benchmark):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal(500_000)
+        idx = benchmark(lambda: parallel_top_k(x, 100, blocks=8))
+        assert idx.size == 100

@@ -1,0 +1,86 @@
+"""§I-C — strong scaling of the parallelised reconstruction pipeline.
+
+The paper notes Algorithm 1's Lines 4–6 are two mat-vec products and
+Lines 7–9 a sort, all parallelisable.  This bench measures the streaming
+Ψ/Δ* accumulation (the dominant kernel) across worker counts and asserts
+(a) bit-identical outputs and (b) real speedup on multi-core hosts.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.core.design import stream_design_stats
+from repro.core.signal import random_signal
+from repro.parallel.pool import WorkerPool
+from repro.util.asciiplot import format_table
+
+N, K, M = 20_000, 20, 1500
+BATCH = 64
+
+
+@pytest.fixture(scope="module")
+def sigma():
+    return random_signal(N, K, np.random.default_rng(0))
+
+
+def _run(sigma, workers, pool=None):
+    return stream_design_stats(sigma, M, root_seed=7, batch_queries=BATCH, pool=pool, workers=workers)
+
+
+def test_kernel_serial(benchmark, sigma):
+    stats = benchmark.pedantic(lambda: _run(sigma, 1), rounds=3, iterations=1)
+    assert stats.m == M
+
+
+def test_kernel_parallel(benchmark, sigma, workers):
+    if workers < 2:
+        pytest.skip("single-core host")
+    with WorkerPool(workers) as pool:
+        stats = benchmark.pedantic(lambda: _run(sigma, workers, pool=pool), rounds=3, iterations=1)
+    assert stats.m == M
+
+
+def test_scaling_table_and_equality(sigma, workers, check):
+    @check
+    def _():
+        """Outputs identical across worker counts; wall time reported per count."""
+        baseline = None
+        rows = []
+        t0 = time.perf_counter()
+        serial = _run(sigma, 1)
+        t_serial = time.perf_counter() - t0
+        rows.append((1, f"{t_serial:.2f}s", "1.00x"))
+        for w in (2, 4, workers):
+            if w < 2 or w > workers:
+                continue
+            with WorkerPool(w) as pool:
+                t0 = time.perf_counter()
+                stats = _run(sigma, w, pool=pool)
+                dt = time.perf_counter() - t0
+            rows.append((w, f"{dt:.2f}s", f"{t_serial / dt:.2f}x"))
+            for field in ("y", "psi", "dstar", "delta"):
+                assert np.array_equal(getattr(serial, field), getattr(stats, field)), field
+            if baseline is None:
+                baseline = dt
+        emit("Strong scaling of Ψ/Δ* accumulation (n=2·10^4, m=1500)", format_table(["workers", "wall", "speedup"], rows))
+
+
+def test_speedup_on_multicore(sigma, workers, check):
+    @check
+    def _():
+        """≥1.2x speedup at 4 workers (lenient: shared-memory copy overheads)."""
+        if workers < 4:
+            pytest.skip("need ≥4 cores for the speedup assertion")
+        t0 = time.perf_counter()
+        _run(sigma, 1)
+        t_serial = time.perf_counter() - t0
+        with WorkerPool(4) as pool:
+            _run(sigma, 4, pool=pool)  # warm the pool
+            t0 = time.perf_counter()
+            _run(sigma, 4, pool=pool)
+            t_par = time.perf_counter() - t0
+        assert t_par < t_serial / 1.2, f"serial {t_serial:.2f}s vs 4 workers {t_par:.2f}s"
+

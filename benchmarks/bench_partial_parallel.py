@@ -1,0 +1,108 @@
+"""§VI open problem — partially parallel designs (L units) and the
+adaptive-rounds extension.
+
+Two measurements:
+
+1. **Makespan trade-off**: the same m queries scheduled on L units; the
+   paper's fully parallel regime is L ≥ m (one round).  Expected shape:
+   makespan decreases monotonically in L and saturates at the
+   single-query latency.
+2. **Adaptive rounds**: the extension's round-based scheme pays fewer
+   *queries* than the one-shot Theorem-1 budget at the cost of rounds —
+   quantifying the trade-off the paper asks about.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.core.signal import random_signal, theta_to_k
+from repro.core.thresholds import m_mn_threshold
+from repro.extensions.adaptive import adaptive_reconstruct
+from repro.machine.latency import LognormalLatency
+from repro.machine.scheduler import schedule_queries
+from repro.util.asciiplot import format_table
+
+M = 960
+UNITS = (1, 8, 96, 960)
+
+
+@pytest.fixture(scope="module")
+def durations():
+    rng = np.random.default_rng(0)
+    return LognormalLatency(median=60.0, sigma=0.2).sample(M, rng)
+
+
+def test_schedule_regenerate(benchmark, durations):
+    schedule = benchmark(lambda: schedule_queries(durations, 96, policy="rounds"))
+    assert schedule.rounds == 10
+
+
+def test_makespan_tradeoff(durations, check):
+    @check
+    def _():
+        """Makespan strictly improves with units and saturates at one round."""
+        rows = []
+        makespans = []
+        for units in UNITS:
+            s = schedule_queries(durations, units, policy="rounds")
+            rows.append((units, s.rounds, f"{s.makespan / 60.0:.1f} min", f"{s.utilization(units):.2f}"))
+            makespans.append(s.makespan)
+        emit("L-unit makespan trade-off (m=960 pooled PCR queries, ~1 min each)", format_table(["units", "rounds", "makespan", "utilization"], rows))
+        assert all(a > b for a, b in zip(makespans, makespans[1:]))
+        # Fully parallel = single round = max single-query latency.
+        assert makespans[-1] == pytest.approx(float(durations.max()))
+
+
+def test_lpt_never_worse_than_rounds(durations, check):
+    @check
+    def _():
+        for units in (8, 96):
+            lpt = schedule_queries(durations, units, policy="lpt").makespan
+            rounds = schedule_queries(durations, units, policy="rounds").makespan
+            assert lpt <= rounds + 1e-9
+
+
+def test_adaptive_rounds_vs_queries_tradeoff(repro_seed, check):
+    @check
+    def _():
+        """Round-based scheme: queries track the corrected one-shot budget
+        at fine granularity; coarser L buys fewer rounds with more queries.
+
+        Measured at this scale: L=32 stops within one round of the
+        finite-size-corrected budget (~223 queries); L=128 wastes up to one
+        round of queries but finishes in 2-3 rounds.
+        """
+        from repro.core.thresholds import finite_size_factor
+
+        n, theta = 1000, 0.3
+        k = theta_to_k(n, theta)
+        budget = m_mn_threshold(n, theta)
+        corrected = budget * finite_size_factor(n, k, int(budget))
+        rows = []
+        mean_used = {}
+        mean_rounds = {}
+        for units in (32, 64, 128):
+            used = []
+            rounds = []
+            for t in range(6):
+                rng = np.random.default_rng(repro_seed + 101 * units + t)
+                sigma = random_signal(n, k, rng)
+                result = adaptive_reconstruct(sigma, k, units=units, rng=rng)
+                assert result.converged
+                assert np.array_equal(result.sigma_hat, sigma)
+                used.append(result.queries_used)
+                rounds.append(result.rounds)
+            mean_used[units] = float(np.mean(used))
+            mean_rounds[units] = float(np.mean(rounds))
+            rows.append((units, f"{mean_used[units]:.0f}", f"{mean_rounds[units]:.1f}", f"{corrected:.0f}"))
+        emit(
+            "Adaptive rounds vs one-shot budget (n=1000, θ=0.3)",
+            format_table(["L", "avg queries", "avg rounds", "corrected m_MN"], rows),
+        )
+        # Fine granularity ≈ corrected one-shot budget (± one round + noise).
+        assert mean_used[32] <= corrected + 2 * 32
+        # Coarser L: fewer rounds, more queries (the trade-off itself).
+        assert mean_rounds[32] > mean_rounds[128]
+        assert mean_used[32] <= mean_used[128]
+

@@ -1,0 +1,110 @@
+"""Threshold constants table ("Table B") — Eq. 1/2, Thm 1/2, related rates.
+
+Not a paper table per se: the paper states these thresholds inline; this
+bench prints them side by side across θ and asserts every ordering the
+paper claims between them.
+"""
+
+from conftest import emit
+from repro.core.signal import theta_to_k
+from repro.core.thresholds import (
+    gt_rate,
+    karimi_rate,
+    m_counting_exact,
+    m_counting_sequential,
+    m_information_parallel,
+    m_mn_threshold,
+    theta_star_gt,
+)
+from repro.util.asciiplot import format_table
+
+N = 10_000
+THETAS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
+
+
+def _rows():
+    out = []
+    for theta in THETAS:
+        k = theta_to_k(N, theta)
+        if k < 2:
+            continue
+        out.append(
+            {
+                "theta": theta,
+                "k": k,
+                "counting": m_counting_exact(N, k),
+                "seq": m_counting_sequential(N, k),
+                "it": m_information_parallel(N, k),
+                "mn": m_mn_threshold(N, theta),
+                "karimi": karimi_rate(N, k, 1),
+                "gt": gt_rate(N, k),
+            }
+        )
+    return out
+
+
+def test_table_b_regenerate(benchmark):
+    rows = benchmark(_rows)
+    emit(
+        "Table B (threshold constants, n=10^4)",
+        format_table(
+            ["theta", "k", "counting", "seq", "IT para", "MN", "Karimi", "bin GT"],
+            [
+                (r["theta"], r["k"], f"{r['counting']:.0f}", f"{r['seq']:.0f}", f"{r['it']:.0f}", f"{r['mn']:.0f}", f"{r['karimi']:.0f}", f"{r['gt']:.0f}")
+                for r in rows
+            ],
+        ),
+    )
+    assert len(rows) == len(THETAS)
+
+
+def test_parallel_penalty_factor_two(check):
+    @check
+    def _():
+        """Eq. (2): the parallel IT threshold is exactly twice the sequential one."""
+        for r in _rows():
+            assert abs(r["it"] / r["seq"] - 2.0) < 1e-9
+
+
+def test_algorithmic_gap(check):
+    @check
+    def _():
+        """Thm 1 vs Thm 2: the efficient algorithm pays a polylog-factor premium."""
+        for r in _rows():
+            assert r["mn"] > r["it"]
+
+
+def test_mn_vs_karimi_same_order(check):
+    @check
+    def _():
+        """§I-C: MN matches Karimi et al.'s guarantees up to a constant.
+
+        Karimi's constants are θ-independent while MN's ``(1+√θ)/(1−√θ)``
+        grows with θ, so we bound the ratio on the Fig. 2/3 range θ ≤ 0.4
+        and only require finiteness beyond.
+        """
+        for r in _rows():
+            ratio = r["mn"] / r["karimi"]
+            assert ratio > 1.0
+            if r["theta"] <= 0.4:
+                assert ratio < 5.0, f"theta={r['theta']}: ratio {ratio:.2f}"
+
+
+def test_gt_wins_below_theta_star(check):
+    @check
+    def _():
+        """§I-D: for θ below ln2/(1+ln2) the binary-GT rate beats MN (and Karimi)."""
+        for r in _rows():
+            if r["theta"] <= theta_star_gt():
+                assert r["gt"] < r["mn"]
+                assert r["gt"] < r["karimi"]
+
+
+def test_counting_bound_is_weakest(check):
+    @check
+    def _():
+        """The folklore counting bound lower-bounds everything else."""
+        for r in _rows():
+            assert r["counting"] <= r["it"] + 1
+            assert r["counting"] < r["mn"]
+

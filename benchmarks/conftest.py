@@ -1,0 +1,64 @@
+"""Shared benchmark configuration.
+
+Benchmarks double as the *reproduction harness*: each file regenerates one
+figure/table/claim of the paper (see DESIGN.md's experiment index), prints
+the measured rows, and asserts the paper's qualitative *shape* (who wins,
+where the transition sits, what dominates what).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Scale: defaults are laptop-scale (minutes, not the paper's CPU-days); every
+driver accepts paper-scale parameters through its Python API.
+"""
+
+import os
+
+import pytest
+
+
+def _worker_count() -> int:
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # pragma: no cover
+        return max(1, os.cpu_count() or 1)
+
+
+@pytest.fixture(scope="session")
+def workers() -> int:
+    """Worker processes available to the sweep drivers."""
+    return _worker_count()
+
+
+@pytest.fixture(scope="session")
+def repro_seed() -> int:
+    """Root seed for every benchmark (override via POOLED_REPRO_SEED)."""
+    return int(os.environ.get("POOLED_REPRO_SEED", "2022"))
+
+
+def emit(title: str, body: str) -> None:
+    """Print a labelled block that survives pytest's capture with -s or on failure."""
+    print(f"\n===== {title} =====")
+    print(body)
+
+
+@pytest.fixture
+def check(benchmark):
+    """Run a shape-assertion block through the benchmark fixture.
+
+    The suite is executed with ``--benchmark-only``, which skips any test
+    not using the ``benchmark`` fixture.  Shape checks consume data from
+    module-scoped sweep fixtures (where the real cost lives); wrapping the
+    assertion body in a 1-round pedantic run keeps them executing under
+    that flag.  Use as a decorator::
+
+        def test_shape(sweep, check):
+            @check
+            def _():
+                assert sweep[0].success.mean < 0.5
+    """
+
+    def runner(fn):
+        benchmark.pedantic(fn, rounds=1, iterations=1)
+        return fn
+
+    return runner

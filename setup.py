@@ -1,0 +1,15 @@
+"""Setuptools shim.
+
+This offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build the editable
+wheel.  The shim enables the legacy path::
+
+    python setup.py develop
+
+which is what ``make install`` / the CI script use here.  All metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,220 @@
+"""Command-line interface: ``pooled-repro <command>`` (or ``python -m repro.cli``).
+
+One subcommand per paper artefact:
+
+========  =====================================================
+fig1      print the worked Fig. 1 example
+fig2      required queries vs n (writes results/fig2.csv)
+fig3      success rate vs m for one panel
+fig4      overlap vs m for one panel
+claims    the §VI in-text claim table
+it        empirical Theorem-2 phase transition (exhaustive)
+thresh    threshold constants table across θ
+========  =====================================================
+
+All sweeps accept ``--trials`` and ``--workers``; defaults are laptop-scale
+(see EXPERIMENTS.md for the paper-scale invocations).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.design import PoolingDesign
+from repro.core.signal import theta_to_k
+from repro.core.thresholds import (
+    gt_rate,
+    karimi_rate,
+    m_counting_exact,
+    m_information_parallel,
+    m_mn_threshold,
+)
+from repro.util.asciiplot import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(prog="pooled-repro", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig1", help="print the worked Fig. 1 example")
+
+    p2 = sub.add_parser("fig2", help="required queries vs n")
+    p2.add_argument("--ns", type=int, nargs="+", default=None, help="signal lengths")
+    p2.add_argument("--thetas", type=float, nargs="+", default=[0.1, 0.2, 0.3, 0.4])
+    p2.add_argument("--trials", type=int, default=10)
+    p2.add_argument("--workers", type=int, default=0)
+    p2.add_argument("--seed", type=int, default=0)
+
+    for name in ("fig3", "fig4"):
+        p = sub.add_parser(name, help=f"{name}: {'success' if name == 'fig3' else 'overlap'} vs m")
+        p.add_argument("--n", type=int, default=1000)
+        p.add_argument("--thetas", type=float, nargs="+", default=[0.1, 0.2, 0.3, 0.4])
+        p.add_argument("--points", type=int, default=12)
+        p.add_argument("--trials", type=int, default=20)
+        p.add_argument("--workers", type=int, default=0)
+        p.add_argument("--seed", type=int, default=0)
+
+    pc = sub.add_parser("claims", help="§VI in-text claim table")
+    pc.add_argument("--trials", type=int, default=50)
+    pc.add_argument("--workers", type=int, default=0)
+
+    pi = sub.add_parser("it", help="Theorem-2 phase transition (exhaustive decoder)")
+    pi.add_argument("--n", type=int, default=30)
+    pi.add_argument("--k", type=int, default=3)
+    pi.add_argument("--trials", type=int, default=20)
+    pi.add_argument("--workers", type=int, default=0)
+    pi.add_argument("--seed", type=int, default=0)
+
+    pt = sub.add_parser("thresh", help="threshold constants table")
+    pt.add_argument("--n", type=int, default=10000)
+    pt.add_argument("--thetas", type=float, nargs="+", default=[0.1, 0.2, 0.3, 0.4, 0.5])
+
+    return parser
+
+
+def _cmd_fig1() -> int:
+    design, sigma = PoolingDesign.fig1_example()
+    y = design.query_results(sigma)
+    print("sigma =", sigma.tolist())
+    for j in range(design.m):
+        pool = (design.pool(j) + 1).tolist()  # 1-based, as in the figure
+        print(f"  a{j + 1}: entries {pool} -> y{j + 1} = {int(y[j])}")
+    print("results:", y.tolist(), "(paper: [2, 2, 3, 1, 1])")
+    return 0
+
+
+def _cmd_fig2(args) -> int:
+    from repro.experiments.fig2 import DEFAULT_NS, run_fig2
+    from repro.experiments.gnuplot import emit_fig2_script
+
+    rows = run_fig2(
+        ns=tuple(args.ns) if args.ns else DEFAULT_NS,
+        thetas=tuple(args.thetas),
+        trials=args.trials,
+        root_seed=args.seed,
+        workers=args.workers,
+        plot=True,
+    )
+    gp = emit_fig2_script("fig2", thetas=tuple(args.thetas))
+    print(f"[gnuplot script: {gp}]")
+    table = [
+        (f"{r.theta:.1f}", r.n, r.k, f"{r.required_m.mean:.0f}", f"{r.theory_m:.0f}", f"{r.theory_corrected:.0f}")
+        for r in rows
+    ]
+    print(format_table(["theta", "n", "k", "m_required", "m_theory", "m_corrected"], table))
+    return 0
+
+
+def _cmd_fig34(args, which: str) -> int:
+    from repro.experiments.fig3 import default_m_grid, run_fig3
+    from repro.experiments.fig4 import run_fig4
+
+    from repro.experiments.gnuplot import emit_fig34_script
+
+    runner = run_fig3 if which == "fig3" else run_fig4
+    csv_name = f"{which}_n{args.n}"
+    series = runner(
+        n=args.n,
+        thetas=tuple(args.thetas),
+        ms=default_m_grid(args.n, args.points),
+        trials=args.trials,
+        root_seed=args.seed,
+        workers=args.workers,
+        csv_name=csv_name,
+        plot=True,
+    )
+    if which == "fig3":
+        gp = emit_fig34_script(csv_name, metric="success", thetas=tuple(args.thetas))
+        print(f"[gnuplot script: {gp}]")
+    rows = []
+    for s in series:
+        for p in s.points:
+            val = p.success if which == "fig3" else p.overlap
+            rows.append((f"{s.theta:.1f}", p.m, f"{val.mean:.3f}", f"[{val.lo:.3f},{val.hi:.3f}]"))
+    metric = "success" if which == "fig3" else "overlap"
+    print(format_table(["theta", "m", metric, "95% CI"], rows))
+    return 0
+
+
+def _cmd_claims(args) -> int:
+    from repro.experiments.claims import run_claim_table
+
+    rows = run_claim_table(trials=args.trials, workers=args.workers)
+    table = [
+        (
+            r.label,
+            r.n,
+            f"{r.theta:.1f}",
+            r.m,
+            f"{r.paper_value:.2f}",
+            f"{r.measured_overlap.mean:.3f}",
+            f"{r.measured_success.mean:.3f}",
+        )
+        for r in rows
+    ]
+    print(format_table(["claim", "n", "theta", "m", "paper", "overlap", "success"], table))
+    return 0
+
+
+def _cmd_it(args) -> int:
+    from repro.experiments.itcheck import run_it_threshold
+
+    points = run_it_threshold(n=args.n, k=args.k, trials=args.trials, root_seed=args.seed, workers=args.workers)
+    table = [(f"{p.c:.1f}", p.m, f"{p.unique.mean:.2f}", f"[{p.unique.lo:.2f},{p.unique.hi:.2f}]") for p in points]
+    print(format_table(["c", "m", "P[unique]", "95% CI"], table))
+    print("Theorem 2 predicts the transition at c = 2 (asymptotically).")
+    return 0
+
+
+def _cmd_thresh(args) -> int:
+    rows = []
+    for theta in args.thetas:
+        k = theta_to_k(args.n, theta)
+        if k < 2 or k >= args.n:
+            continue
+        rows.append(
+            (
+                f"{theta:.2f}",
+                k,
+                f"{m_counting_exact(args.n, k):.0f}",
+                f"{m_information_parallel(args.n, k):.0f}",
+                f"{m_mn_threshold(args.n, theta):.0f}",
+                f"{karimi_rate(args.n, k, 1):.0f}",
+                f"{gt_rate(args.n, k):.0f}",
+            )
+        )
+    print(f"n = {args.n}")
+    print(
+        format_table(
+            ["theta", "k", "counting", "IT parallel (Thm2)", "MN (Thm1)", "Karimi 1.515", "binary GT"],
+            rows,
+        )
+    )
+    return 0
+
+
+def main(argv: "Optional[Sequence[str]]" = None) -> int:
+    """Entry point; returns an exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "fig1":
+        return _cmd_fig1()
+    if args.command == "fig2":
+        return _cmd_fig2(args)
+    if args.command in ("fig3", "fig4"):
+        return _cmd_fig34(args, args.command)
+    if args.command == "claims":
+        return _cmd_claims(args)
+    if args.command == "it":
+        return _cmd_it(args)
+    if args.command == "thresh":
+        return _cmd_thresh(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Core library: the paper's model, algorithm, and theory.
+
+* :mod:`repro.core.signal` — k-sparse binary ground truths and metrics.
+* :mod:`repro.core.design` — the random regular pooling design
+  ``G(n, m, Γ)`` with additive queries, both materialised and streaming.
+* :mod:`repro.core.scores` — the MN statistics ``Ψ, Φ, Δ, Δ*`` and scores.
+* :mod:`repro.core.mn` — Algorithm 1 (Maximum Neighborhood), serial and
+  parallel execution paths.
+* :mod:`repro.core.thresholds` — every closed-form threshold in the paper.
+* :mod:`repro.core.firstmoment` — the first-moment rate function of
+  Lemma 9/10 and the numeric phase-transition locator.
+* :mod:`repro.core.exhaustive` — the information-theoretic (ML) decoder and
+  overlap-resolved counting of consistent signals (``Z_{k,ℓ}``).
+* :mod:`repro.core.reconstruction` — one-call user-facing facade.
+"""
+
+from repro.core.signal import (
+    theta_to_k,
+    k_to_theta,
+    random_signal,
+    overlap_fraction,
+    exact_recovery,
+    hamming_distance,
+)
+from repro.core.design import PoolingDesign, DesignStats, stream_design_stats
+from repro.core.scores import mn_scores, psi_phi_identity_check
+from repro.core.mn import MNDecoder, mn_reconstruct, run_mn_trial, MNTrialResult
+from repro.core.thresholds import (
+    GAMMA,
+    m_information_parallel,
+    m_counting_sequential,
+    m_counting_exact,
+    m_mn_threshold,
+    mn_constant,
+    optimal_alpha,
+    finite_size_factor,
+    karimi_rate,
+    gt_rate,
+)
+from repro.core.exhaustive import exhaustive_decode, count_consistent_by_overlap
+from repro.core.reconstruction import reconstruct
+from repro.core.diagnostics import diagnose_scores, concentration_event_holds, ScoreDiagnostics
+from repro.core.posterior import exact_posterior, bayes_marginal_decode, PosteriorSummary
+from repro.core.estimate import estimate_k, decode_with_estimated_k, KEstimate
+from repro.core.serialization import save_design, load_design
+from repro.core.populations import PrevalencePopulation, HeapsLawProcess, sampled_signal
+
+__all__ = [
+    "theta_to_k",
+    "k_to_theta",
+    "random_signal",
+    "overlap_fraction",
+    "exact_recovery",
+    "hamming_distance",
+    "PoolingDesign",
+    "DesignStats",
+    "stream_design_stats",
+    "mn_scores",
+    "psi_phi_identity_check",
+    "MNDecoder",
+    "mn_reconstruct",
+    "run_mn_trial",
+    "MNTrialResult",
+    "GAMMA",
+    "m_information_parallel",
+    "m_counting_sequential",
+    "m_counting_exact",
+    "m_mn_threshold",
+    "mn_constant",
+    "optimal_alpha",
+    "finite_size_factor",
+    "karimi_rate",
+    "gt_rate",
+    "exhaustive_decode",
+    "count_consistent_by_overlap",
+    "reconstruct",
+    "diagnose_scores",
+    "concentration_event_holds",
+    "ScoreDiagnostics",
+    "exact_posterior",
+    "bayes_marginal_decode",
+    "PosteriorSummary",
+    "estimate_k",
+    "decode_with_estimated_k",
+    "KEstimate",
+    "save_design",
+    "load_design",
+    "PrevalencePopulation",
+    "HeapsLawProcess",
+    "sampled_signal",
+]

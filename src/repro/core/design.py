@@ -1,0 +1,360 @@
+"""The random regular pooling design ``G(n, m, Γ)`` and its statistics.
+
+Model (paper §II): a bipartite multigraph with ``m`` query-nodes and ``n``
+entry-nodes.  Every query contains exactly ``Γ = n/2`` entries drawn
+uniformly **with replacement**; an entry drawn twice contributes its value
+twice to that query's result.  The additive query result is
+``y_j = Σ_{draws i of query j} σ(i)``.
+
+Two execution paths are provided:
+
+* :class:`PoolingDesign` — the design *materialised* as a flat edge list
+  (CSR layout over queries).  Needed by decoders that require the actual
+  biadjacency matrix (exhaustive/LP/OMP/AMP) and by the Fig. 1 example.
+* :func:`stream_design_stats` — computes everything the MN decoder needs
+  (``y, Ψ, Δ, Δ*``) in fixed-size query batches without ever holding the
+  graph, optionally fanned out over a :class:`~repro.parallel.pool.WorkerPool`.
+  Batches are keyed by logical batch index, so for a fixed batch size the
+  result is bit-identical for any worker count — the library's central
+  reproducibility invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.parallel.matvec import CSRMatrix
+from repro.parallel.partition import chunk_count
+from repro.parallel.pool import WorkerPool
+from repro.parallel.sharedmem import SharedArray, SharedArrayDescriptor
+from repro.rng.streams import StreamFamily
+from repro.util.validation import check_binary_signal, check_positive_int
+
+__all__ = ["PoolingDesign", "DesignStats", "stream_design_stats", "default_gamma"]
+
+
+def default_gamma(n: int) -> int:
+    """The paper's pool size ``Γ = n/2`` (floor for odd ``n``)."""
+    n = check_positive_int(n, "n")
+    if n < 2:
+        raise ValueError("n must be >= 2 for a non-empty pool")
+    return n // 2
+
+
+@dataclass(frozen=True)
+class DesignStats:
+    """Everything Algorithm 1 consumes, plus bookkeeping.
+
+    Attributes
+    ----------
+    y:
+        Query results (length ``m``), multiplicities counted.
+    psi:
+        ``Ψ_i`` — sum of results over *distinct* queries containing ``i``.
+    dstar:
+        ``Δ*_i`` — number of distinct queries containing ``i``.
+    delta:
+        ``Δ_i`` — number of query slots occupied by ``i`` (with multiplicity).
+    n, m, gamma:
+        Model parameters.
+    """
+
+    y: np.ndarray
+    psi: np.ndarray
+    dstar: np.ndarray
+    delta: np.ndarray
+    n: int
+    m: int
+    gamma: int
+
+    def __post_init__(self) -> None:
+        if self.y.shape != (self.m,):
+            raise ValueError("y must have length m")
+        for name in ("psi", "dstar", "delta"):
+            if getattr(self, name).shape != (self.n,):
+                raise ValueError(f"{name} must have length n")
+
+
+def _batch_stats_kernel(edges: np.ndarray, sigma: np.ndarray, n: int):
+    """Per-batch core: results + Ψ/Δ*/Δ contributions of a block of queries.
+
+    ``edges`` is ``(B, Γ)`` entry indices with replacement.  Distinctness is
+    resolved by sorting each row and masking repeats — the standard
+    vectorised dedup that keeps everything inside NumPy.
+    """
+    y = sigma[edges].astype(np.int64).sum(axis=1)
+    sorted_edges = np.sort(edges, axis=1)
+    first = np.empty(sorted_edges.shape, dtype=bool)
+    first[:, 0] = True
+    first[:, 1:] = sorted_edges[:, 1:] != sorted_edges[:, :-1]
+    row_of = np.nonzero(first)[0]
+    distinct_entries = sorted_edges[first]
+    psi = np.bincount(distinct_entries, weights=y[row_of].astype(np.float64), minlength=n)
+    dstar = np.bincount(distinct_entries, minlength=n)
+    delta = np.bincount(edges.ravel(), minlength=n)
+    return y, psi.astype(np.int64), dstar.astype(np.int64), delta.astype(np.int64)
+
+
+class PoolingDesign:
+    """A materialised pooling design (CSR layout over queries).
+
+    Supports both the regular model (every query has ``Γ`` draws) and
+    ragged hand-built designs such as the paper's Fig. 1 example.
+
+    Parameters
+    ----------
+    n:
+        Signal length.
+    entries:
+        Flat entry indices, query ``j`` owning ``entries[indptr[j]:indptr[j+1]]``.
+    indptr:
+        Query pointer array of length ``m+1``.
+    """
+
+    def __init__(self, n: int, entries: np.ndarray, indptr: np.ndarray):
+        self.n = check_positive_int(n, "n")
+        self.entries = np.asarray(entries, dtype=np.int64)
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        if self.indptr.ndim != 1 or self.indptr.size < 1 or self.indptr[0] != 0:
+            raise ValueError("indptr must be 1-D starting at 0")
+        if np.any(np.diff(self.indptr) < 0) or self.indptr[-1] != self.entries.size:
+            raise ValueError("indptr inconsistent with entries")
+        if self.entries.size and (self.entries.min() < 0 or self.entries.max() >= n):
+            raise ValueError("entry index out of range")
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def sample(cls, n: int, m: int, rng: np.random.Generator, gamma: Optional[int] = None) -> "PoolingDesign":
+        """Draw the paper's random regular design: ``m`` pools of ``Γ`` draws."""
+        n = check_positive_int(n, "n")
+        m = check_positive_int(m, "m")
+        gamma = default_gamma(n) if gamma is None else check_positive_int(gamma, "gamma")
+        entries = rng.integers(0, n, size=m * gamma, dtype=np.int64)
+        indptr = np.arange(m + 1, dtype=np.int64) * gamma
+        return cls(n, entries, indptr)
+
+    @classmethod
+    def from_pools(cls, n: int, pools: Sequence[Sequence[int]]) -> "PoolingDesign":
+        """Build from explicit (possibly ragged, possibly multiset) pools."""
+        arrays = [np.asarray(p, dtype=np.int64) for p in pools]
+        for a in arrays:
+            if a.ndim != 1:
+                raise ValueError("each pool must be a flat index sequence")
+        entries = np.concatenate(arrays) if arrays else np.empty(0, dtype=np.int64)
+        indptr = np.concatenate(([0], np.cumsum([a.size for a in arrays]))).astype(np.int64)
+        return cls(n, entries, indptr)
+
+    @classmethod
+    def fig1_example(cls) -> "tuple[PoolingDesign, np.ndarray]":
+        """The worked example of the paper's Fig. 1.
+
+        Returns ``(design, sigma)`` with ``σ = (1,1,0,0,1,0,0)`` and query
+        results ``(2, 2, 3, 1, 1)``.  The paper's figure does not list the
+        edge set explicitly; this is one instance consistent with the shown
+        results, including a multi-edge (query 5 contains entry 7 twice).
+        """
+        sigma = np.array([1, 1, 0, 0, 1, 0, 0], dtype=np.int8)
+        pools = [
+            [0, 1, 2],        # a1: x1,x2,x3        -> 2
+            [1, 4, 5],        # a2: x2,x5,x6        -> 2
+            [0, 1, 4, 6],     # a3: x1,x2,x5,x7     -> 3
+            [3, 4, 5],        # a4: x4,x5,x6        -> 1
+            [6, 6, 0],        # a5: x7 (twice), x1  -> 1 (multi-edge)
+        ]
+        return cls.from_pools(7, pools), sigma
+
+    # -- basic properties ------------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Number of queries."""
+        return self.indptr.size - 1
+
+    @property
+    def gamma(self) -> int:
+        """Pool size for regular designs; raises for ragged ones."""
+        sizes = np.diff(self.indptr)
+        if sizes.size == 0:
+            raise ValueError("empty design has no pool size")
+        g = int(sizes[0])
+        if not np.all(sizes == g):
+            raise ValueError("design is ragged; per-query sizes differ")
+        return g
+
+    def pool(self, j: int) -> np.ndarray:
+        """The multiset of entries in query ``j`` (with multiplicity)."""
+        if not (0 <= j < self.m):
+            raise IndexError(f"query index {j} out of range")
+        return self.entries[self.indptr[j] : self.indptr[j + 1]].copy()
+
+    # -- queries ------------------------------------------------------------------
+
+    def query_results(self, sigma: np.ndarray) -> np.ndarray:
+        """Additive results ``y``; multiplicities counted (paper §II)."""
+        sigma = check_binary_signal(sigma, length=self.n)
+        hits = sigma[self.entries].astype(np.int64)
+        out = np.zeros(self.m, dtype=np.int64)
+        lens = np.diff(self.indptr)
+        nonempty = lens > 0
+        if hits.size:
+            out[nonempty] = np.add.reduceat(hits, self.indptr[:-1][nonempty])
+        return out
+
+    # -- matrices -------------------------------------------------------------------
+
+    def counts_matrix(self) -> CSRMatrix:
+        """Biadjacency *count* matrix ``A`` (queries × entries), ``A_ij = #draws``."""
+        rows = np.repeat(np.arange(self.m, dtype=np.int64), np.diff(self.indptr))
+        return CSRMatrix.from_coo(rows, self.entries, np.ones(self.entries.size, dtype=np.int64), (self.m, self.n))
+
+    def indicator_matrix(self) -> CSRMatrix:
+        """Unweighted biadjacency ``M`` (queries × entries), ``M_ij = 1{A_ij>0}``."""
+        counts = self.counts_matrix()
+        return CSRMatrix(counts.indptr, counts.indices, np.ones(counts.nnz, dtype=np.int64), counts.shape)
+
+    # -- neighbourhood statistics ------------------------------------------------------
+
+    def delta(self) -> np.ndarray:
+        """``Δ_i``: number of occupied query slots per entry (multiplicity)."""
+        return np.bincount(self.entries, minlength=self.n).astype(np.int64)
+
+    def dstar(self) -> np.ndarray:
+        """``Δ*_i``: number of *distinct* queries containing each entry."""
+        rows = np.repeat(np.arange(self.m, dtype=np.int64), np.diff(self.indptr))
+        pair = rows * self.n + self.entries
+        distinct = np.unique(pair)
+        return np.bincount((distinct % self.n).astype(np.int64), minlength=self.n).astype(np.int64)
+
+    def psi(self, y: np.ndarray) -> np.ndarray:
+        """``Ψ_i = Σ_{j ∈ ∂*x_i} y_j`` — distinct queries counted once."""
+        y = np.asarray(y, dtype=np.int64)
+        if y.shape != (self.m,):
+            raise ValueError(f"y must have length m={self.m}")
+        rows = np.repeat(np.arange(self.m, dtype=np.int64), np.diff(self.indptr))
+        pair = rows * self.n + self.entries
+        distinct = np.unique(pair)
+        drow = distinct // self.n
+        dent = distinct % self.n
+        return np.bincount(dent, weights=y[drow].astype(np.float64), minlength=self.n).astype(np.int64)
+
+    def stats(self, sigma: np.ndarray) -> DesignStats:
+        """All MN inputs computed from the materialised design."""
+        y = self.query_results(sigma)
+        return DesignStats(
+            y=y,
+            psi=self.psi(y),
+            dstar=self.dstar(),
+            delta=self.delta(),
+            n=self.n,
+            m=self.m,
+            gamma=int(np.diff(self.indptr)[0]) if self.m else 0,
+        )
+
+
+# -- streaming path ------------------------------------------------------------------
+
+
+def _stream_task(payload, cache):
+    """Worker task: generate and evaluate one batch of queries.
+
+    The ground truth crosses the process boundary once via shared memory;
+    the batch RNG is derived from logical indices only.
+    """
+    (batch_idx, lo, hi, n, gamma, root_seed, trial_key, sigma_desc) = payload
+    if sigma_desc.name not in cache:
+        cache[sigma_desc.name] = SharedArray.attach(sigma_desc)
+    sigma = cache[sigma_desc.name].array
+    rng = StreamFamily(root_seed).generator(*trial_key, batch_idx)
+    edges = rng.integers(0, n, size=(hi - lo, gamma), dtype=np.int64)
+    return (lo, *_batch_stats_kernel(edges, sigma, n))
+
+
+def stream_design_stats(
+    sigma: np.ndarray,
+    m: int,
+    *,
+    root_seed: int,
+    trial_key: "tuple[int, ...]" = (),
+    gamma: Optional[int] = None,
+    batch_queries: int = 256,
+    pool: "WorkerPool | None" = None,
+    workers: int = 1,
+) -> DesignStats:
+    """Simulate ``m`` parallel queries and accumulate MN statistics.
+
+    The design is *not* materialised: each fixed-size batch of queries is
+    generated from a generator keyed by ``(root_seed, *trial_key, batch)``,
+    evaluated, folded into ``Ψ/Δ*/Δ`` and discarded.  Passing a pool (or
+    ``workers > 1``) distributes batches; output is bit-identical to the
+    serial path because accumulation happens in batch order in the parent.
+
+    Parameters
+    ----------
+    sigma:
+        Ground-truth signal.
+    m:
+        Number of parallel queries.
+    root_seed, trial_key:
+        Logical stream key; the same key always regenerates the same design.
+    gamma:
+        Pool size (default ``n // 2``).
+    batch_queries:
+        Queries per batch.  Part of the *design key*: different batch sizes
+        draw different (identically distributed) designs, because streams
+        are keyed per batch.  For a fixed batch size, results never depend
+        on the worker count.
+    pool, workers:
+        Parallel execution (see :class:`~repro.parallel.pool.WorkerPool`).
+    """
+    sigma = check_binary_signal(sigma)
+    n = sigma.shape[0]
+    m = check_positive_int(m, "m")
+    gamma = default_gamma(n) if gamma is None else check_positive_int(gamma, "gamma")
+    batch_queries = check_positive_int(batch_queries, "batch_queries")
+
+    batches = []
+    for b in range(chunk_count(m, batch_queries)):
+        lo = b * batch_queries
+        hi = min(m, lo + batch_queries)
+        batches.append((b, lo, hi))
+
+    y = np.zeros(m, dtype=np.int64)
+    psi = np.zeros(n, dtype=np.int64)
+    dstar = np.zeros(n, dtype=np.int64)
+    delta = np.zeros(n, dtype=np.int64)
+
+    own_pool = pool is None and workers != 1
+    pool = pool if pool is not None else (WorkerPool(workers) if workers != 1 else None)
+    try:
+        if pool is None or pool.workers == 1:
+            family = StreamFamily(root_seed)
+            for b, lo, hi in batches:
+                rng = family.generator(*trial_key, b)
+                edges = rng.integers(0, n, size=(hi - lo, gamma), dtype=np.int64)
+                yb, psib, dstarb, deltab = _batch_stats_kernel(edges, sigma, n)
+                y[lo:hi] = yb
+                psi += psib
+                dstar += dstarb
+                delta += deltab
+        else:
+            shared_sigma = SharedArray.from_array(sigma)
+            try:
+                desc: SharedArrayDescriptor = shared_sigma.descriptor
+                payloads = [(b, lo, hi, n, gamma, root_seed, tuple(trial_key), desc) for b, lo, hi in batches]
+                results = pool.map(_stream_task, payloads)
+                for lo, yb, psib, dstarb, deltab in results:
+                    y[lo : lo + yb.size] = yb
+                    psi += psib
+                    dstar += dstarb
+                    delta += deltab
+            finally:
+                shared_sigma.destroy()
+    finally:
+        if own_pool and pool is not None:
+            pool.shutdown()
+
+    return DesignStats(y=y, psi=psi, dstar=dstar, delta=delta, n=n, m=m, gamma=gamma)

@@ -1,0 +1,88 @@
+"""Estimating the signal weight ``k`` from the query results themselves.
+
+The paper removes the decoder's dependence on ``k`` with one extra
+all-entries query.  When even that query is unavailable (fixed assay
+plates, retrospective data), ``k`` is still identifiable from the pooled
+results: each result satisfies ``E[y_j] = Γ·k/n``, so the method-of-moments
+estimator
+
+    k̂ = round( n · ȳ / Γ )
+
+is unbiased before rounding, with standard deviation ``≈ √(2k/m)·...``
+shrinking like ``1/√m`` — far below 1 at any query count the decoder can
+succeed with, so the rounding recovers ``k`` exactly w.h.p.  This module
+provides the estimator, its standard error, and a convenience decode mode.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.design import DesignStats
+from repro.core.mn import MNDecoder
+
+__all__ = ["KEstimate", "estimate_k", "decode_with_estimated_k"]
+
+
+@dataclass(frozen=True)
+class KEstimate:
+    """Weight estimate with uncertainty.
+
+    Attributes
+    ----------
+    k_hat:
+        Rounded method-of-moments estimate (≥ 0).
+    raw:
+        Unrounded estimate ``n·ȳ/Γ``.
+    std_error:
+        Estimated standard error of ``raw`` (CLT over the m results).
+    reliable:
+        Whether the ±2·SE window rounds to a single integer — if False,
+        callers should spend the paper's calibration query instead.
+    """
+
+    k_hat: int
+    raw: float
+    std_error: float
+    reliable: bool
+
+
+def estimate_k(stats: DesignStats) -> KEstimate:
+    """Method-of-moments estimate of the signal weight from ``y``.
+
+    Raises
+    ------
+    ValueError
+        On an empty observation vector.
+    """
+    if stats.m < 1 or stats.gamma < 1:
+        raise ValueError("need at least one non-empty query")
+    scale = stats.n / stats.gamma
+    raw = scale * float(stats.y.mean())
+    if stats.m > 1:
+        se = scale * float(stats.y.std(ddof=1)) / math.sqrt(stats.m)
+    else:
+        se = float("inf")
+    k_hat = max(0, int(round(raw)))
+    reliable = math.isfinite(se) and (round(raw - 2 * se) == round(raw + 2 * se))
+    return KEstimate(k_hat=k_hat, raw=raw, std_error=se, reliable=reliable)
+
+
+def decode_with_estimated_k(stats: DesignStats, blocks: int = 1) -> "tuple[np.ndarray, KEstimate]":
+    """MN decoding with ``k`` estimated from the same observations.
+
+    Returns the estimate alongside so callers can audit ``reliable``.
+
+    Raises
+    ------
+    RuntimeError
+        If the estimate is 0 (no signal mass observed at all).
+    """
+    est = estimate_k(stats)
+    if est.k_hat == 0:
+        raise RuntimeError("estimated weight is 0 — no one-entries observable in y")
+    sigma_hat = MNDecoder(blocks=blocks).decode(stats, est.k_hat)
+    return sigma_hat, est

@@ -1,0 +1,157 @@
+"""The first-moment machinery behind Theorem 2 (Lemmas 9 and 10).
+
+Proposition 7 bounds the expected number ``Z_{k,ℓ}`` of *alternative*
+signals consistent with the observed query results at overlap ``ℓ`` via the
+rate function of Lemma 9 (Eq. 13):
+
+    f_{n,k}(ℓ) = (k/n)·H(ℓ/k) + (1 − k/n)·H((k−ℓ)/(n−k))
+                 − (c·k/n)·ln(n/k)/(2·ln k) · ln(2π·(1 − ℓ/k)·k)
+
+with ``H`` the natural-log binary entropy and ``m = c·k·ln(n/k)/ln k``.
+Lemma 10 shows ``max_ℓ f < 0`` iff ``c > 2 + o(1)``, which *is* the phase
+transition of Theorem 2.  This module exposes the rate function, its
+maximiser, and a numeric critical-``c`` locator so the test suite can verify
+``c* → 2`` directly — a reproduction of the paper's central calculation.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.thresholds import GAMMA, log_binom
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "entropy",
+    "rate_function",
+    "rate_function_max",
+    "critical_c",
+    "overlap_upper_limit",
+    "expected_log_Zkl",
+]
+
+
+def entropy(p: "float | np.ndarray") -> "float | np.ndarray":
+    """Natural-log binary entropy ``H(p) = −p·ln p − (1−p)·ln(1−p)``.
+
+    Vectorised; endpoints use the ``0·ln 0 = 0`` convention of Lemma 10.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    if np.any((p < 0) | (p > 1)):
+        raise ValueError("entropy argument must lie in [0, 1]")
+    out = np.zeros_like(p)
+    interior = (p > 0) & (p < 1)
+    pi = p[interior]
+    out[interior] = -pi * np.log(pi) - (1.0 - pi) * np.log(1.0 - pi)
+    return float(out) if out.ndim == 0 else out
+
+
+def overlap_upper_limit(k: int) -> float:
+    """Proposition 7's overlap cut-off ``k − γ·ln k`` (γ = 1 − e^{−1/2}).
+
+    First-moment counting covers overlaps below this; the coupon-collector
+    argument of Proposition 11 covers the rest.
+    """
+    k = check_positive_int(k, "k")
+    return k - GAMMA * math.log(k)
+
+
+def rate_function(ell: "float | np.ndarray", n: int, k: int, c: float) -> "float | np.ndarray":
+    """Lemma 9's exponential rate ``f_{n,k}(ℓ)`` (per-``n`` normalisation).
+
+    Negative values mean ``E[Z_{k,ℓ}] → 0`` exponentially in ``n``.
+    """
+    n = check_positive_int(n, "n")
+    k = check_positive_int(k, "k")
+    if not (2 <= k < n):
+        raise ValueError("require 2 <= k < n")
+    if c <= 0:
+        raise ValueError("c must be positive")
+    ell = np.asarray(ell, dtype=np.float64)
+    if np.any((ell < 0) | (ell >= k)):
+        raise ValueError("overlap ell must lie in [0, k)")
+    kn = k / n
+    term_entropy = kn * entropy(ell / k) + (1.0 - kn) * entropy((k - ell) / (n - k))
+    coeff = c * kn * math.log(n / k) / (2.0 * math.log(k))
+    term_queries = coeff * np.log(2.0 * math.pi * (1.0 - ell / k) * k)
+    out = term_entropy - term_queries
+    return float(out) if out.ndim == 0 else out
+
+
+def rate_function_max(n: int, k: int, c: float, grid: int = 4096) -> "tuple[float, float]":
+    """``(ℓ*, f(ℓ*))`` — the maximiser over ``[0, k − γ ln k]``.
+
+    Lemma 10 locates the interior maximiser at ``ℓ = Θ(k²/n)``; we confirm
+    numerically with a dense grid plus golden-section refinement around the
+    best grid point (the function is smooth and single-peaked there).
+    """
+    hi = overlap_upper_limit(k)
+    if hi <= 0:
+        raise ValueError("k too small for the first-moment window")
+    ells = np.linspace(0.0, min(hi, k - 1e-9), num=grid)
+    vals = rate_function(ells, n, k, c)
+    best = int(np.argmax(vals))
+    lo_i = max(0, best - 1)
+    hi_i = min(grid - 1, best + 1)
+    a, b = float(ells[lo_i]), float(ells[hi_i])
+    # Golden-section refinement.
+    phi = (math.sqrt(5.0) - 1.0) / 2.0
+    x1 = b - phi * (b - a)
+    x2 = a + phi * (b - a)
+    f1 = float(rate_function(x1, n, k, c))
+    f2 = float(rate_function(x2, n, k, c))
+    for _ in range(80):
+        if f1 < f2:
+            a, x1, f1 = x1, x2, f2
+            x2 = a + phi * (b - a)
+            f2 = float(rate_function(x2, n, k, c))
+        else:
+            b, x2, f2 = x2, x1, f1
+            x1 = b - phi * (b - a)
+            f1 = float(rate_function(x1, n, k, c))
+    ell_star = (a + b) / 2.0
+    return ell_star, float(rate_function(ell_star, n, k, c))
+
+
+def critical_c(n: int, k: int, tol: float = 1e-6) -> float:
+    """Numeric phase transition: the ``c`` where ``max_ℓ f_{n,k} = 0``.
+
+    Lemma 10 proves this tends to 2 as ``n → ∞``; the tests check the
+    convergence (e.g. within a few percent at ``n = 10^8``).
+    """
+    lo, hi = 1e-3, 64.0
+    f_lo = rate_function_max(n, k, lo)[1]
+    f_hi = rate_function_max(n, k, hi)[1]
+    if not (f_lo > 0 > f_hi):
+        raise ValueError(f"bracketing failed: f({lo})={f_lo:.3g}, f({hi})={f_hi:.3g}")
+    while hi - lo > tol:
+        mid = 0.5 * (lo + hi)
+        if rate_function_max(n, k, mid)[1] > 0:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def expected_log_Zkl(ell: int, n: int, k: int, m: int) -> float:
+    """Direct (non-asymptotic) log of Lemma 8's first-moment bound.
+
+    ``ln E[Z_{k,ℓ}] ≤ ln C(k,ℓ) + ln C(n−k, k−ℓ) + m·ln( E[X^{−1/2}] / √(2π) )``
+    with ``X ~ Bin_{≥1}(Γ, 2(1−ℓ/k)k/n)``; the expectation is evaluated by
+    the Jensen-gap approximation of Lemma 13, ``E[X^{−1/2}] ≈ E[X]^{−1/2}``.
+    Useful for small-``n`` diagnostics where the asymptotic rate is crude.
+    """
+    n = check_positive_int(n, "n")
+    k = check_positive_int(k, "k")
+    m = check_positive_int(m, "m")
+    if not (0 <= ell < k):
+        raise ValueError("require 0 <= ell < k")
+    gamma_pool = n // 2
+    p = 2.0 * (1.0 - ell / k) * k / n
+    mean_x = gamma_pool * p
+    if mean_x <= 0:
+        raise ValueError("degenerate flip probability")
+    per_query = math.log(1.0 / math.sqrt(2.0 * math.pi * mean_x))
+    return log_binom(k, ell) + log_binom(n - k, k - ell) + m * per_query

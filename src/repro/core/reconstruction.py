@@ -1,0 +1,128 @@
+"""One-call user-facing reconstruction facade.
+
+Most downstream users do not care about the decomposition into design,
+stats and decoder — they have a *query oracle* (a lab, a screening
+pipeline, a neural-network batch evaluator) and want the signal back.
+:func:`reconstruct` owns the whole loop: it samples the paper's pooling
+design, submits every pool to the oracle **in one parallel batch** (the
+defining constraint of the paper), optionally spends one extra calibration
+query to learn ``k``, and runs the MN decoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.design import PoolingDesign
+from repro.core.mn import mn_reconstruct
+from repro.util.validation import check_positive_int
+
+__all__ = ["reconstruct", "ReconstructionReport"]
+
+#: A query oracle: receives the *batch* of pools (each a multiset of entry
+#: indices, multiplicity significant) and returns the additive results.
+QueryOracle = Callable[[Sequence[np.ndarray]], Sequence[int]]
+
+
+@dataclass(frozen=True)
+class ReconstructionReport:
+    """Everything :func:`reconstruct` learned.
+
+    Attributes
+    ----------
+    sigma_hat:
+        The reconstructed signal.
+    k:
+        Weight used for decoding (given or calibrated).
+    design:
+        The pooling design that was executed (for audit/re-decoding).
+    y:
+        Observed query results.
+    calibrated:
+        Whether ``k`` came from the extra all-entries query.
+    """
+
+    sigma_hat: np.ndarray
+    k: int
+    design: PoolingDesign
+    y: np.ndarray
+    calibrated: bool
+
+
+def reconstruct(
+    n: int,
+    m: int,
+    oracle: QueryOracle,
+    *,
+    k: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    gamma: Optional[int] = None,
+    blocks: int = 1,
+) -> ReconstructionReport:
+    """Recover a k-sparse binary signal through an additive query oracle.
+
+    Parameters
+    ----------
+    n:
+        Signal length.
+    m:
+        Number of parallel pooled queries to spend (excluding the optional
+        calibration query).
+    oracle:
+        Callable receiving the full batch of pools at once — mirroring the
+        paper's "all queries executed simultaneously" constraint — and
+        returning one non-negative integer per pool.
+    k:
+        Signal weight if known.  When ``None``, one extra query containing
+        every entry exactly once is appended to the batch; its result *is*
+        ``k`` (paper §I-C).
+    rng:
+        Randomness for the design (default: fresh ``default_rng()``).
+    gamma:
+        Pool size override (default ``n // 2``).
+    blocks:
+        Parallel decomposition width for the decoder's top-k step.
+
+    Returns
+    -------
+    ReconstructionReport
+
+    Raises
+    ------
+    ValueError
+        If the oracle returns the wrong number of results, negative counts,
+        or a calibration result of zero (no signal to find).
+    """
+    n = check_positive_int(n, "n")
+    m = check_positive_int(m, "m")
+    rng = rng if rng is not None else np.random.default_rng()
+
+    design = PoolingDesign.sample(n, m, rng, gamma=gamma)
+    pools = [design.pool(j) for j in range(design.m)]
+    calibrated = k is None
+    if calibrated:
+        pools.append(np.arange(n, dtype=np.int64))
+
+    results = list(oracle(pools))
+    if len(results) != len(pools):
+        raise ValueError(f"oracle returned {len(results)} results for {len(pools)} pools")
+    y_all = np.asarray(results, dtype=np.int64)
+    if np.any(y_all < 0):
+        raise ValueError("oracle returned a negative count")
+
+    if calibrated:
+        k = int(y_all[-1])
+        y = y_all[:-1]
+        if k == 0:
+            raise ValueError("calibration query returned 0: the signal has no one-entries")
+        if k > n:
+            raise ValueError("calibration query exceeded n — oracle inconsistent")
+    else:
+        k = check_positive_int(k, "k")
+        y = y_all
+
+    sigma_hat = mn_reconstruct(design, y, k, blocks=blocks)
+    return ReconstructionReport(sigma_hat=sigma_hat, k=k, design=design, y=y, calibrated=calibrated)

@@ -1,0 +1,71 @@
+"""Persisting designs and observations for audit and re-decoding.
+
+A lab run is expensive; its artefacts (the pooling design actually
+pipetted, the observed counts) must outlive the process that created them.
+This module stores a :class:`~repro.core.design.PoolingDesign` plus
+optional query results in a single compressed ``.npz`` with a format tag,
+and validates everything on load — a corrupted or mismatched file raises
+rather than silently decoding garbage.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.core.design import PoolingDesign
+
+__all__ = ["save_design", "load_design", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+def save_design(path: "str | Path", design: PoolingDesign, y: "np.ndarray | None" = None) -> Path:
+    """Write a design (and optionally its observed results) to ``path``.
+
+    Returns the final path (``.npz`` appended if missing).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    payload = {
+        "format_version": np.asarray(FORMAT_VERSION, dtype=np.int64),
+        "n": np.asarray(design.n, dtype=np.int64),
+        "entries": design.entries,
+        "indptr": design.indptr,
+    }
+    if y is not None:
+        y = np.asarray(y, dtype=np.int64)
+        if y.shape != (design.m,):
+            raise ValueError(f"y must have length m={design.m}, got {y.shape}")
+        payload["y"] = y
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_design(path: "str | Path") -> "tuple[PoolingDesign, Optional[np.ndarray]]":
+    """Load a design saved by :func:`save_design`.
+
+    Returns ``(design, y_or_None)``.  All structural invariants are
+    re-validated by the :class:`PoolingDesign` constructor.
+
+    Raises
+    ------
+    ValueError
+        On missing fields, wrong format version, or invariant violations.
+    """
+    path = Path(path)
+    with np.load(path) as data:
+        for field in ("format_version", "n", "entries", "indptr"):
+            if field not in data:
+                raise ValueError(f"{path} is not a pooled-repro design file (missing {field!r})")
+        version = int(data["format_version"])
+        if version != FORMAT_VERSION:
+            raise ValueError(f"unsupported design file version {version} (expected {FORMAT_VERSION})")
+        design = PoolingDesign(int(data["n"]), data["entries"], data["indptr"])
+        y = data["y"].astype(np.int64) if "y" in data else None
+    if y is not None and y.shape != (design.m,):
+        raise ValueError("stored y length does not match the stored design")
+    return design, y

@@ -1,0 +1,98 @@
+"""Ground-truth signals and recovery metrics.
+
+The paper's model: ``σ`` is drawn uniformly from all 0/1 vectors of length
+``n`` with Hamming weight ``k = n^θ`` (``k`` rounded to the nearest integer,
+which is where the visible "discontinuities" in Fig. 2's theory lines come
+from).  Fig. 4's *overlap* is the fraction of one-entries classified
+correctly, which we implement as ``|supp(σ) ∩ supp(σ̂)| / k``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.util.validation import (
+    check_binary_signal,
+    check_in_open_unit_interval,
+    check_positive_int,
+)
+
+__all__ = [
+    "theta_to_k",
+    "k_to_theta",
+    "random_signal",
+    "overlap_fraction",
+    "exact_recovery",
+    "hamming_distance",
+    "support",
+]
+
+
+def theta_to_k(n: int, theta: float) -> int:
+    """``k = round(n^θ)``, clamped to ``[1, n]``.
+
+    The paper's simulations round ``n^θ`` to the closest integer; clamping
+    guards tiny ``n`` where rounding could hit 0.
+    """
+    n = check_positive_int(n, "n")
+    theta = check_in_open_unit_interval(theta, "theta")
+    return int(min(n, max(1, round(n**theta))))
+
+
+def k_to_theta(n: int, k: int) -> float:
+    """The effective sparsity exponent ``θ = ln k / ln n`` of a concrete pair."""
+    n = check_positive_int(n, "n")
+    k = check_positive_int(k, "k")
+    if n < 2:
+        raise ValueError("n must be >= 2 to define theta")
+    if k > n:
+        raise ValueError("k must not exceed n")
+    return math.log(k) / math.log(n)
+
+
+def random_signal(n: int, k: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw ``σ`` uniformly from weight-``k`` binary vectors of length ``n``."""
+    n = check_positive_int(n, "n")
+    k = check_positive_int(k, "k")
+    if k > n:
+        raise ValueError(f"k={k} must not exceed n={n}")
+    sigma = np.zeros(n, dtype=np.int8)
+    ones = rng.choice(n, size=k, replace=False)
+    sigma[ones] = 1
+    return sigma
+
+
+def support(sigma: np.ndarray) -> np.ndarray:
+    """Sorted indices of the one-entries."""
+    sigma = check_binary_signal(sigma)
+    return np.flatnonzero(sigma)
+
+
+def overlap_fraction(sigma: np.ndarray, sigma_hat: np.ndarray) -> float:
+    """Fraction of true one-entries present in the estimate (Fig. 4 metric).
+
+    Both vectors must have the same length; the denominator is the true
+    weight ``k`` (an estimate with extra ones is not rewarded for them).
+    """
+    sigma = check_binary_signal(sigma, "sigma")
+    sigma_hat = check_binary_signal(sigma_hat, "sigma_hat", length=sigma.shape[0])
+    k = int(sigma.sum())
+    if k == 0:
+        raise ValueError("sigma must contain at least one one-entry")
+    return float(np.logical_and(sigma == 1, sigma_hat == 1).sum()) / k
+
+
+def exact_recovery(sigma: np.ndarray, sigma_hat: np.ndarray) -> bool:
+    """True iff the estimate equals the ground truth entry-for-entry."""
+    sigma = check_binary_signal(sigma, "sigma")
+    sigma_hat = check_binary_signal(sigma_hat, "sigma_hat", length=sigma.shape[0])
+    return bool(np.array_equal(sigma, sigma_hat))
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:
+    """Number of disagreeing coordinates."""
+    a = check_binary_signal(a, "a")
+    b = check_binary_signal(b, "b", length=a.shape[0])
+    return int(np.count_nonzero(a != b))

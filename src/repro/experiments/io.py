@@ -1,0 +1,54 @@
+"""Result persistence for the experiment drivers.
+
+Plain CSV, one file per figure/claim, under a configurable results
+directory (default ``./results``).  Files are small; the point is that a
+reader can re-plot the reproduction with their own tooling (the paper's
+pipeline does the same with gnuplot data files).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from pathlib import Path
+from typing import Iterable, Sequence
+
+__all__ = ["results_dir", "write_csv", "read_csv"]
+
+_ENV_VAR = "POOLED_REPRO_RESULTS"
+
+
+def results_dir(create: bool = True) -> Path:
+    """The results directory (override with ``POOLED_REPRO_RESULTS``)."""
+    path = Path(os.environ.get(_ENV_VAR, "results"))
+    if create:
+        path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def write_csv(name: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> Path:
+    """Write rows to ``<results>/<name>.csv`` and return the path."""
+    if not name or any(ch in name for ch in "/\\"):
+        raise ValueError(f"invalid result name {name!r}")
+    path = results_dir() / f"{name}.csv"
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        count = 0
+        for row in rows:
+            if len(row) != len(headers):
+                raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+            writer.writerow(row)
+            count += 1
+    return path
+
+
+def read_csv(path: "str | Path") -> "tuple[list[str], list[list[str]]]":
+    """Read back a CSV written by :func:`write_csv`."""
+    path = Path(path)
+    with path.open(newline="") as fh:
+        reader = csv.reader(fh)
+        rows = list(reader)
+    if not rows:
+        raise ValueError(f"{path} is empty")
+    return rows[0], rows[1:]

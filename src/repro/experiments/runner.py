@@ -1,0 +1,130 @@
+"""Trial execution: deterministic seeds, optional trial-level parallelism.
+
+The sweeps of Figs. 2–4 are embarrassingly parallel *across trials* (each
+trial is one design + one decode), which is where the worker pool pays off
+most at laptop scale — so the harness parallelises over trials and leaves
+each trial's streaming simulation serial.  Every trial's randomness is
+keyed by ``(root_seed, point_id, trial)``, so a sweep is reproducible
+regardless of worker count, sweep order, or interleaving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.mn import MNTrialResult, run_mn_trial
+from repro.parallel.pool import WorkerPool
+from repro.util.stats import SummaryStats, summarize_bool, summarize_float
+from repro.util.validation import check_nonneg_int, check_positive_int
+
+__all__ = ["run_trials", "success_and_overlap_curve", "CurvePoint"]
+
+
+def _trial_task(payload, cache) -> MNTrialResult:
+    """Module-level worker task (picklable) running one MN trial."""
+    n, m, theta, k, root_seed, trial = payload
+    return run_mn_trial(n, m, theta=theta, k=k, root_seed=root_seed, trial=trial)
+
+
+def run_trials(
+    n: int,
+    m: int,
+    *,
+    theta: Optional[float] = None,
+    k: Optional[int] = None,
+    trials: int = 20,
+    root_seed: int = 0,
+    point_id: int = 0,
+    pool: "WorkerPool | None" = None,
+    workers: int = 1,
+) -> "list[MNTrialResult]":
+    """Run ``trials`` independent MN trials at one ``(n, m)`` point.
+
+    ``point_id`` disambiguates seeds across sweep points so that two points
+    of the same sweep never share designs.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(m, "m")
+    trials = check_positive_int(trials, "trials")
+    check_nonneg_int(point_id, "point_id")
+    payloads = [(n, m, theta, k, root_seed, point_id * 1_000_003 + t) for t in range(trials)]
+    own_pool = pool is None and workers != 1
+    pool = pool if pool is not None else (WorkerPool(workers) if workers != 1 else None)
+    try:
+        if pool is None:
+            return [_trial_task(p, {}) for p in payloads]
+        return pool.map(_trial_task, payloads)
+    finally:
+        if own_pool and pool is not None:
+            pool.shutdown()
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """Aggregated outcome of one sweep point (one x-value of Fig. 3/4)."""
+
+    n: int
+    m: int
+    success: SummaryStats
+    overlap: SummaryStats
+
+    def as_row(self) -> "tuple[int, int, float, float, float, float, float, float, int]":
+        """CSV row: n, m, success (mean, lo, hi), overlap (mean, lo, hi), trials."""
+        return (
+            self.n,
+            self.m,
+            self.success.mean,
+            self.success.lo,
+            self.success.hi,
+            self.overlap.mean,
+            self.overlap.lo,
+            self.overlap.hi,
+            self.success.n,
+        )
+
+
+def success_and_overlap_curve(
+    n: int,
+    ms: Sequence[int],
+    *,
+    theta: Optional[float] = None,
+    k: Optional[int] = None,
+    trials: int = 20,
+    root_seed: int = 0,
+    pool: "WorkerPool | None" = None,
+    workers: int = 1,
+) -> "list[CurvePoint]":
+    """Sweep ``m`` and aggregate success rate and overlap at each point.
+
+    This single function generates the data of both Fig. 3 (success) and
+    Fig. 4 (overlap): the paper's two figures are two projections of the
+    same simulation grid, so we run it once.
+    """
+    own_pool = pool is None and workers != 1
+    pool = pool if pool is not None else (WorkerPool(workers) if workers != 1 else None)
+    points: "list[CurvePoint]" = []
+    try:
+        for idx, m in enumerate(ms):
+            results = run_trials(
+                n,
+                int(m),
+                theta=theta,
+                k=k,
+                trials=trials,
+                root_seed=root_seed,
+                point_id=idx,
+                pool=pool,
+            )
+            points.append(
+                CurvePoint(
+                    n=n,
+                    m=int(m),
+                    success=summarize_bool([r.success for r in results]),
+                    overlap=summarize_float([r.overlap for r in results]),
+                )
+            )
+    finally:
+        if own_pool and pool is not None:
+            pool.shutdown()
+    return points

@@ -1,0 +1,103 @@
+"""Round-based reconstruction for the partially parallel setting.
+
+§VI's second open problem: with only ``L`` processing units, a design that
+issues queries in *rounds* may beat the one-shot fully parallel design on
+total queries (at the cost of rounds of latency).  This extension
+implements the natural semi-adaptive scheme:
+
+1. issue a round of ``L`` fresh random regular queries (all in parallel);
+2. decode with MN using everything observed so far;
+3. **verify** the candidate against the observations (re-evaluate every
+   pool on σ̂); stop when it explains all of them, else go to 1.
+
+Consistency of a weight-``k`` candidate with all observations is exactly
+the event Theorem 2 counts, so once ``m`` passes the information-theoretic
+threshold a consistent candidate is w.h.p. *the* signal — the stopping rule
+is principled, not a heuristic.  Empirically the scheme stops well below
+the one-shot MN requirement because it pays only for the queries it needs
+(the bench quantifies the saving and the rounds-vs-queries trade-off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.design import PoolingDesign
+from repro.core.mn import mn_reconstruct
+from repro.util.validation import check_binary_signal, check_positive_int
+
+__all__ = ["adaptive_reconstruct", "AdaptiveResult"]
+
+
+@dataclass(frozen=True)
+class AdaptiveResult:
+    """Outcome of a round-based reconstruction."""
+
+    sigma_hat: np.ndarray
+    queries_used: int
+    rounds: int
+    converged: bool
+
+
+def adaptive_reconstruct(
+    sigma: np.ndarray,
+    k: int,
+    units: int,
+    rng: np.random.Generator,
+    max_rounds: int = 64,
+) -> AdaptiveResult:
+    """Run the round-based scheme against a (simulated) signal oracle.
+
+    Parameters
+    ----------
+    sigma:
+        Ground truth (stands in for the lab; only its query results are
+        ever shown to the decoder).
+    k:
+        Signal weight.
+    units:
+        Queries per round (``L``).
+    rng:
+        Randomness for the per-round designs.
+    max_rounds:
+        Abort cap; ``converged=False`` if reached.
+
+    Returns
+    -------
+    AdaptiveResult
+        The candidate after the first self-consistent round (or the last
+        round if the cap was hit).
+    """
+    sigma = check_binary_signal(sigma)
+    n = sigma.shape[0]
+    k = check_positive_int(k, "k")
+    units = check_positive_int(units, "units")
+    max_rounds = check_positive_int(max_rounds, "max_rounds")
+
+    entries_parts: "list[np.ndarray]" = []
+    sigma_hat = np.zeros(n, dtype=np.int8)
+    rounds = 0
+    converged = False
+    for rounds in range(1, max_rounds + 1):
+        part = PoolingDesign.sample(n, units, rng)
+        entries_parts.append(part.entries)
+        total_m = rounds * units
+        design = PoolingDesign(
+            n,
+            np.concatenate(entries_parts),
+            np.arange(total_m + 1, dtype=np.int64) * part.gamma,
+        )
+        y = design.query_results(sigma)
+        sigma_hat = mn_reconstruct(design, y, k)
+        # Verification: does the candidate explain every observation?
+        if np.array_equal(design.query_results(sigma_hat), y):
+            converged = True
+            break
+    return AdaptiveResult(
+        sigma_hat=sigma_hat,
+        queries_used=rounds * units,
+        rounds=rounds,
+        converged=converged,
+    )

@@ -1,0 +1,40 @@
+"""Simulated query-execution machine.
+
+The paper's premise is that executing a query (a PCR run, a liquid-handling
+robot cycle, a GPU forward pass) takes *wall-clock time that dominates
+reconstruction*, which is why fully parallel designs matter.  We do not have
+a wet lab, so — per the reproduction rules — we simulate the closest
+equivalent: a bank of ``L`` processing units executing queries with a
+configurable latency distribution.
+
+* :mod:`repro.machine.latency` — latency models (deterministic, lognormal,
+  shifted-exponential).
+* :mod:`repro.machine.scheduler` — list scheduling of ``m`` queries onto
+  ``L`` units; makespan accounting.  ``L = m`` reproduces the paper's fully
+  parallel regime (makespan = one query), ``L < m`` is the §VI open-problem
+  regime.
+* :mod:`repro.machine.robot` — :class:`SimulatedLab`, gluing a pooling
+  design, a latency model and a scheduler into a "run the experiment"
+  facade that returns both query results and a timing report.
+"""
+
+from repro.machine.latency import (
+    LatencyModel,
+    DeterministicLatency,
+    LognormalLatency,
+    ShiftedExponentialLatency,
+)
+from repro.machine.scheduler import Schedule, schedule_queries, makespan_fully_parallel
+from repro.machine.robot import SimulatedLab, LabReport
+
+__all__ = [
+    "LatencyModel",
+    "DeterministicLatency",
+    "LognormalLatency",
+    "ShiftedExponentialLatency",
+    "Schedule",
+    "schedule_queries",
+    "makespan_fully_parallel",
+    "SimulatedLab",
+    "LabReport",
+]

@@ -1,0 +1,92 @@
+"""Query latency models for the simulated lab.
+
+A latency model turns "query j was executed" into a duration.  All models
+are driven by an explicit ``numpy.random.Generator`` so experiment runs are
+reproducible, and all durations are strictly positive.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_nonneg_int
+
+__all__ = [
+    "LatencyModel",
+    "DeterministicLatency",
+    "LognormalLatency",
+    "ShiftedExponentialLatency",
+]
+
+
+class LatencyModel(ABC):
+    """Interface: sample per-query execution times."""
+
+    @abstractmethod
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Return ``count`` positive durations (seconds)."""
+
+    def _check(self, count: int) -> int:
+        return check_nonneg_int(count, "count")
+
+
+@dataclass(frozen=True)
+class DeterministicLatency(LatencyModel):
+    """Every query takes exactly ``seconds`` — the paper's implicit model.
+
+    With this model a fully parallel design has makespan ``seconds``
+    regardless of ``m``, which is precisely the argument for parallel
+    pooling schemes.
+    """
+
+    seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (self.seconds > 0):
+            raise ValueError("seconds must be positive")
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        count = self._check(count)
+        return np.full(count, self.seconds, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class LognormalLatency(LatencyModel):
+    """Lognormal durations — heavy-ish tail typical of robotic pipelines.
+
+    ``median`` is the median duration; ``sigma`` the log-scale spread.
+    """
+
+    median: float = 1.0
+    sigma: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not (self.median > 0):
+            raise ValueError("median must be positive")
+        if not (self.sigma >= 0):
+            raise ValueError("sigma must be non-negative")
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        count = self._check(count)
+        return self.median * np.exp(self.sigma * rng.standard_normal(count))
+
+
+@dataclass(frozen=True)
+class ShiftedExponentialLatency(LatencyModel):
+    """``floor + Exp(mean_extra)`` — fixed handling time plus random tail."""
+
+    floor: float = 0.5
+    mean_extra: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not (self.floor > 0):
+            raise ValueError("floor must be positive")
+        if not (self.mean_extra > 0):
+            raise ValueError("mean_extra must be positive")
+
+    def sample(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        count = self._check(count)
+        return self.floor + rng.exponential(self.mean_extra, size=count)

@@ -1,0 +1,139 @@
+"""Scheduling ``m`` queries onto ``L`` processing units.
+
+The paper studies the fully parallel regime (all ``m`` queries at once;
+makespan = max single-query latency) and poses the *partially parallel*
+regime — only ``L`` units available — as an open problem (§VI).  This module
+implements both:
+
+* :func:`makespan_fully_parallel` — the ``L >= m`` case.
+* :func:`schedule_queries` — list scheduling for ``L < m``; either the
+  naive round-robin ``⌈m/L⌉``-round schedule (what a plate-based robot
+  does) or greedy **LPT** (longest processing time first), the classic
+  4/3-approximation to minimum makespan.
+
+Both return a :class:`Schedule` with per-unit assignments, per-query start
+and finish times, and the makespan — enough for the trade-off benchmarks to
+report query-time/reconstruction-time breakdowns.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.validation import check_positive_int
+
+__all__ = ["Schedule", "schedule_queries", "makespan_fully_parallel"]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A complete assignment of queries to units with timing.
+
+    Attributes
+    ----------
+    unit_of:
+        ``unit_of[j]`` = unit executing query ``j``.
+    start, finish:
+        Per-query start/finish times.
+    makespan:
+        ``max(finish)`` (0 for zero queries).
+    rounds:
+        Number of synchronous rounds for round-based policies, else ``None``.
+    """
+
+    unit_of: np.ndarray
+    start: np.ndarray
+    finish: np.ndarray
+    makespan: float
+    rounds: "int | None" = field(default=None)
+
+    @property
+    def units(self) -> int:
+        """Number of distinct units actually used."""
+        return int(np.unique(self.unit_of).size) if self.unit_of.size else 0
+
+    def utilization(self, num_units: int) -> float:
+        """Busy time / (units × makespan) — 1.0 means perfectly packed."""
+        if self.makespan <= 0:
+            return 1.0
+        busy = float((self.finish - self.start).sum())
+        return busy / (num_units * self.makespan)
+
+
+def makespan_fully_parallel(durations: np.ndarray) -> Schedule:
+    """All queries start at t=0 on their own unit (the paper's regime)."""
+    durations = np.asarray(durations, dtype=np.float64)
+    if durations.ndim != 1:
+        raise ValueError("durations must be 1-D")
+    if durations.size and durations.min() <= 0:
+        raise ValueError("durations must be positive")
+    m = durations.size
+    start = np.zeros(m)
+    return Schedule(
+        unit_of=np.arange(m, dtype=np.int64),
+        start=start,
+        finish=durations.copy(),
+        makespan=float(durations.max()) if m else 0.0,
+        rounds=1 if m else 0,
+    )
+
+
+def schedule_queries(durations: np.ndarray, units: int, policy: str = "lpt") -> Schedule:
+    """Schedule queries onto ``units`` identical machines.
+
+    Parameters
+    ----------
+    durations:
+        Positive per-query durations.
+    units:
+        Number of processing units ``L``.
+    policy:
+        ``"lpt"`` — greedy longest-processing-time-first (good makespan);
+        ``"rounds"`` — synchronous rounds of ``L`` queries in index order,
+        each round waiting for its slowest member (plate-robot behaviour).
+    """
+    durations = np.asarray(durations, dtype=np.float64)
+    if durations.ndim != 1:
+        raise ValueError("durations must be 1-D")
+    if durations.size and durations.min() <= 0:
+        raise ValueError("durations must be positive")
+    units = check_positive_int(units, "units")
+    m = durations.size
+    if m == 0:
+        return Schedule(np.empty(0, np.int64), np.empty(0), np.empty(0), 0.0, rounds=0)
+    if units >= m:
+        return makespan_fully_parallel(durations)
+
+    unit_of = np.empty(m, dtype=np.int64)
+    start = np.empty(m, dtype=np.float64)
+    finish = np.empty(m, dtype=np.float64)
+
+    if policy == "lpt":
+        order = np.argsort(-durations, kind="stable")
+        heap = [(0.0, u) for u in range(units)]  # (available_at, unit)
+        heapq.heapify(heap)
+        for j in order:
+            avail, u = heapq.heappop(heap)
+            unit_of[j] = u
+            start[j] = avail
+            finish[j] = avail + durations[j]
+            heapq.heappush(heap, (float(finish[j]), u))
+        rounds = None
+    elif policy == "rounds":
+        t = 0.0
+        rounds = 0
+        for lo in range(0, m, units):
+            hi = min(lo + units, m)
+            block = slice(lo, hi)
+            unit_of[block] = np.arange(hi - lo)
+            start[block] = t
+            finish[block] = t + durations[block]
+            t += float(durations[block].max())
+            rounds += 1
+    else:
+        raise ValueError(f"unknown policy {policy!r} (expected 'lpt' or 'rounds')")
+
+    return Schedule(unit_of, start, finish, float(finish.max()), rounds=rounds)

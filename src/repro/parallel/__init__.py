@@ -1,0 +1,47 @@
+"""Parallel compute substrate.
+
+The paper's simulator is multi-threaded C++ on a 20-core Xeon.  CPython's
+GIL rules out shared-memory threading for the hot kernels, so this package
+provides the canonical Python workaround (see the HPC guides): a fork-based
+**process pool** communicating through POSIX shared memory, with NumPy doing
+the vectorised inner loops inside each worker.
+
+Layers, bottom-up:
+
+* :mod:`repro.parallel.partition` — balanced index-range partitioning.
+* :mod:`repro.parallel.sharedmem` — named shared NumPy arrays.
+* :mod:`repro.parallel.pool` — a persistent worker pool with task
+  submission, error propagation and clean shutdown.
+* :mod:`repro.parallel.primitives` — parallel map / reduce / element-wise
+  accumulate / prefix scan built on the pool.
+* :mod:`repro.parallel.sort` — parallel sample sort and top-k selection
+  (the paper's Lines 7–9 of Algorithm 1 cite parallel sorting surveys).
+* :mod:`repro.parallel.matvec` — row-partitioned CSR mat-vec used for
+  ``Ψ = Mᵀy`` and ``Δ* = Mᵀ1``.
+
+Everything degrades gracefully to serial execution when ``workers=1`` —
+results are bit-identical by construction.
+"""
+
+from repro.parallel.partition import split_range, split_evenly
+from repro.parallel.sharedmem import SharedArray
+from repro.parallel.pool import WorkerPool, PoolError
+from repro.parallel.primitives import parallel_map, parallel_reduce, parallel_elementwise_sum
+from repro.parallel.sort import parallel_sample_sort, parallel_argsort, parallel_top_k
+from repro.parallel.matvec import CSRMatrix, parallel_csr_matvec
+
+__all__ = [
+    "split_range",
+    "split_evenly",
+    "SharedArray",
+    "WorkerPool",
+    "PoolError",
+    "parallel_map",
+    "parallel_reduce",
+    "parallel_elementwise_sum",
+    "parallel_sample_sort",
+    "parallel_argsort",
+    "parallel_top_k",
+    "CSRMatrix",
+    "parallel_csr_matvec",
+]

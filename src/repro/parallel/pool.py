@@ -1,0 +1,174 @@
+"""A persistent fork-based worker pool.
+
+Why not ``multiprocessing.Pool``?  Three reasons that matter here:
+
+1. **Warm shared state.**  Tasks reference :class:`~repro.parallel.sharedmem.SharedArray`
+   descriptors; workers cache their attachments between tasks, so a sweep
+   over hundreds of ``m`` values pays the attach cost once.
+2. **Deterministic task→result mapping.**  Results are returned in
+   submission order regardless of completion order, which keeps reductions
+   bit-reproducible.
+3. **Observable failure.**  A worker exception is re-raised in the parent as
+   :class:`PoolError` carrying the original traceback text; a dead worker is
+   detected rather than dead-locking the queue (failure-injection tests
+   cover both paths).
+
+The pool prefers the ``fork`` start method (cheap, copy-on-write module
+state).  On platforms without ``fork`` it falls back to ``spawn``; tasks
+must then be module-level callables, which all library kernels are.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_mod
+import traceback
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+__all__ = ["WorkerPool", "PoolError", "resolve_workers"]
+
+_SENTINEL = ("__stop__", None, None, None)
+
+
+class PoolError(RuntimeError):
+    """A task failed inside a worker; carries the remote traceback text."""
+
+    def __init__(self, message: str, remote_traceback: str = ""):
+        super().__init__(message)
+        self.remote_traceback = remote_traceback
+
+
+def resolve_workers(workers: "int | None") -> int:
+    """Translate a ``workers`` argument into a concrete process count.
+
+    ``None`` or ``0`` means "all available cores" (respecting CPU affinity
+    when the platform exposes it); negative values are rejected.
+    """
+    if workers is None or workers == 0:
+        try:
+            return max(1, len(os.sched_getaffinity(0)))
+        except AttributeError:  # pragma: no cover - non-Linux
+            return max(1, os.cpu_count() or 1)
+    if not isinstance(workers, int) or isinstance(workers, bool):
+        raise TypeError("workers must be an int or None")
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
+    return workers
+
+
+def _worker_loop(task_queue: "mp.Queue", result_queue: "mp.Queue") -> None:
+    """Worker main: pull ``(kind, task_id, fn, payload)``, push results."""
+    cache: dict = {}
+    while True:
+        kind, task_id, fn, payload = task_queue.get()
+        if kind == "__stop__":
+            break
+        try:
+            result = fn(payload, cache)
+            result_queue.put((task_id, True, result, ""))
+        except BaseException as exc:  # noqa: BLE001 - forwarded to parent
+            result_queue.put((task_id, False, repr(exc), traceback.format_exc()))
+
+
+class WorkerPool:
+    """Persistent process pool executing ``fn(payload, cache)`` tasks.
+
+    ``cache`` is a per-worker dict that survives across tasks — the
+    idiomatic place to stash shared-memory attachments.
+
+    With ``workers == 1`` the pool runs tasks inline in the parent process
+    (no subprocess at all), which makes single-worker runs trivially
+    debuggable and exactly as reproducible as the parallel path.
+    """
+
+    def __init__(self, workers: "int | None" = None):
+        self.workers = resolve_workers(workers)
+        self._procs: "list[mp.process.BaseProcess]" = []
+        self._task_queue: Optional[mp.Queue] = None
+        self._result_queue: Optional[mp.Queue] = None
+        self._inline_cache: dict = {}
+        self._closed = False
+        if self.workers > 1:
+            ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
+            self._task_queue = ctx.Queue()
+            self._result_queue = ctx.Queue()
+            for _ in range(self.workers):
+                p = ctx.Process(target=_worker_loop, args=(self._task_queue, self._result_queue), daemon=True)
+                p.start()
+                self._procs.append(p)
+
+    # -- execution ---------------------------------------------------------------
+
+    def map(self, fn: Callable[[Any, dict], Any], payloads: Sequence[Any], timeout: float = 600.0) -> "list[Any]":
+        """Run ``fn`` over payloads; results in submission order.
+
+        Raises :class:`PoolError` if any task fails or a worker dies.
+        """
+        if self._closed:
+            raise PoolError("pool already shut down")
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        if self.workers == 1:
+            return [fn(p, self._inline_cache) for p in payloads]
+        assert self._task_queue is not None and self._result_queue is not None
+        for i, payload in enumerate(payloads):
+            self._task_queue.put(("task", i, fn, payload))
+        results: "list[Any]" = [None] * len(payloads)
+        received = 0
+        while received < len(payloads):
+            try:
+                task_id, ok, value, tb = self._result_queue.get(timeout=timeout)
+            except queue_mod.Empty:
+                dead = [p.pid for p in self._procs if not p.is_alive()]
+                self.shutdown(force=True)
+                if dead:
+                    raise PoolError(f"worker process(es) died: pids {dead}") from None
+                raise PoolError(f"pool timed out after {timeout}s") from None
+            if not ok:
+                self.shutdown(force=True)
+                raise PoolError(f"task {task_id} failed: {value}", remote_traceback=tb)
+            results[task_id] = value
+            received += 1
+        return results
+
+    def starmap_indices(
+        self, fn: Callable[[Any, dict], Any], index_payloads: Iterable[Any], timeout: float = 600.0
+    ) -> "list[Any]":
+        """Alias of :meth:`map` accepting any iterable (materialised once)."""
+        return self.map(fn, list(index_payloads), timeout=timeout)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def shutdown(self, force: bool = False) -> None:
+        """Stop workers. Idempotent. ``force`` kills instead of joining."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._task_queue is not None:
+            if not force:
+                for _ in self._procs:
+                    self._task_queue.put(_SENTINEL)
+            for p in self._procs:
+                if force:
+                    p.terminate()
+                p.join(timeout=10.0)
+                if p.is_alive():  # pragma: no cover - last resort
+                    p.kill()
+                    p.join(timeout=5.0)
+            self._task_queue.close()
+            assert self._result_queue is not None
+            self._result_queue.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(force=exc_type is not None)
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.shutdown(force=True)
+        except Exception:
+            pass

@@ -1,0 +1,114 @@
+"""Parallel map / reduce / element-wise accumulation / prefix scan.
+
+These primitives are the vocabulary the reconstruction pipeline is written
+in.  They are deliberately *deterministic*: reductions always combine
+partial results in logical-index order, so floating-point results do not
+depend on scheduling.  (Integer accumulators — the common case here — are
+exact anyway; the discipline matters for the latency statistics.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.parallel.partition import split_range
+from repro.parallel.pool import WorkerPool
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "parallel_map",
+    "parallel_reduce",
+    "parallel_elementwise_sum",
+    "prefix_sum",
+]
+
+
+def parallel_map(
+    fn: Callable[[Any, dict], Any],
+    payloads: Sequence[Any],
+    pool: "WorkerPool | None" = None,
+    workers: "int | None" = 1,
+) -> "list[Any]":
+    """Apply ``fn(payload, cache)`` to every payload, preserving order.
+
+    Either pass an existing ``pool`` (preferred inside sweeps, to amortise
+    fork cost) or a ``workers`` count for a throwaway pool.
+    """
+    if pool is not None:
+        return pool.map(fn, payloads)
+    with WorkerPool(workers) as tmp:
+        return tmp.map(fn, payloads)
+
+
+def parallel_reduce(
+    fn: Callable[[Any, dict], Any],
+    payloads: Sequence[Any],
+    combine: Callable[[Any, Any], Any],
+    pool: "WorkerPool | None" = None,
+    workers: "int | None" = 1,
+) -> Any:
+    """Map then fold partial results left-to-right in submission order."""
+    parts = parallel_map(fn, payloads, pool=pool, workers=workers)
+    if not parts:
+        raise ValueError("parallel_reduce needs at least one payload")
+    acc = parts[0]
+    for part in parts[1:]:
+        acc = combine(acc, part)
+    return acc
+
+
+def parallel_elementwise_sum(
+    fn: Callable[[Any, dict], np.ndarray],
+    payloads: Sequence[Any],
+    shape: "tuple[int, ...] | int",
+    dtype=np.float64,
+    pool: "WorkerPool | None" = None,
+    workers: "int | None" = 1,
+) -> np.ndarray:
+    """Sum array-valued task results into one accumulator.
+
+    The workhorse behind Ψ/Δ* accumulation: each task returns a dense
+    partial array; the parent adds them in logical order.
+    """
+    out = np.zeros(shape, dtype=dtype)
+    for part in parallel_map(fn, payloads, pool=pool, workers=workers):
+        part = np.asarray(part)
+        if part.shape != out.shape:
+            raise ValueError(f"partial result shape {part.shape} != accumulator shape {out.shape}")
+        out += part
+    return out
+
+
+def prefix_sum(values: np.ndarray, workers: int = 1, block: Optional[int] = None) -> np.ndarray:
+    """Inclusive prefix sum via the classic two-pass block-scan algorithm.
+
+    With ``workers == 1`` this is ``np.cumsum``.  With more workers the
+    array is cut into blocks; pass one scans each block, a serial scan of
+    block totals computes offsets, pass two adds offsets.  The parallel
+    structure is executed with plain slicing here (NumPy already releases
+    the GIL for the heavy part); the function exists chiefly to document and
+    test the decomposition used by the distributed sorting code.
+    """
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise ValueError("prefix_sum expects a 1-D array")
+    workers = check_positive_int(workers, "workers")
+    if workers == 1 or values.size <= 1:
+        return np.cumsum(values)
+    parts = split_range(values.size, workers if block is None else max(1, values.size // block))
+    # np.cumsum promotes small integer dtypes; match its output dtype exactly.
+    out = np.empty(values.shape, dtype=np.cumsum(values[:0]).dtype)
+    totals = []
+    for lo, hi in parts:
+        if lo == hi:
+            totals.append(values.dtype.type(0))
+            continue
+        out[lo:hi] = np.cumsum(values[lo:hi])
+        totals.append(out[hi - 1])
+    offsets = np.concatenate(([0], np.cumsum(totals)[:-1]))
+    for (lo, hi), off in zip(parts, offsets):
+        if lo < hi and off != 0:
+            out[lo:hi] += off
+    return out

@@ -1,0 +1,136 @@
+"""Named shared-memory NumPy arrays.
+
+A :class:`SharedArray` owns (or attaches to) a POSIX shared-memory segment
+and exposes it as a NumPy array.  Workers attach by *descriptor* — a small
+picklable tuple — so large operands (the signal, score accumulators, the
+query-result vector) cross the process boundary once, not per task.
+
+Lifecycle rules (enforced, and exercised by the tests):
+
+* the **creator** calls :meth:`close` then :meth:`unlink` (or just
+  :meth:`destroy`);
+* **attachers** call :meth:`close` only;
+* double-close and use-after-close raise instead of corrupting memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SharedArray", "SharedArrayDescriptor"]
+
+
+@dataclass(frozen=True)
+class SharedArrayDescriptor:
+    """Picklable handle identifying a shared array (name, shape, dtype)."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+class SharedArray:
+    """A NumPy array backed by ``multiprocessing.shared_memory``.
+
+    Use :meth:`create` in the parent, ship :attr:`descriptor` to workers,
+    and :meth:`attach` inside each worker.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, shape: Tuple[int, ...], dtype: np.dtype, owner: bool):
+        self._shm: Optional[shared_memory.SharedMemory] = shm
+        self._shape = tuple(int(s) for s in shape)
+        self._dtype = np.dtype(dtype)
+        self._owner = owner
+        self._array: Optional[np.ndarray] = np.ndarray(self._shape, dtype=self._dtype, buffer=shm.buf)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, shape: "Tuple[int, ...] | int", dtype=np.float64, fill: "float | None" = None) -> "SharedArray":
+        """Allocate a new shared segment large enough for ``shape``/``dtype``."""
+        if isinstance(shape, (int, np.integer)):
+            shape = (int(shape),)
+        shape = tuple(int(s) for s in shape)
+        if any(s < 0 for s in shape):
+            raise ValueError(f"shape must be non-negative, got {shape}")
+        dtype = np.dtype(dtype)
+        nbytes = max(1, int(np.prod(shape)) * dtype.itemsize)
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        arr = cls(shm, shape, dtype, owner=True)
+        if fill is not None:
+            arr.array[...] = fill
+        return arr
+
+    @classmethod
+    def from_array(cls, source: np.ndarray) -> "SharedArray":
+        """Allocate and copy an existing array into shared memory."""
+        out = cls.create(source.shape, source.dtype)
+        out.array[...] = source
+        return out
+
+    @classmethod
+    def attach(cls, descriptor: SharedArrayDescriptor) -> "SharedArray":
+        """Attach to a segment created elsewhere (non-owning)."""
+        shm = shared_memory.SharedMemory(name=descriptor.name)
+        return cls(shm, descriptor.shape, np.dtype(descriptor.dtype), owner=False)
+
+    # -- access ------------------------------------------------------------------
+
+    @property
+    def array(self) -> np.ndarray:
+        """The live NumPy view. Raises after :meth:`close`."""
+        if self._array is None:
+            raise RuntimeError("SharedArray used after close()")
+        return self._array
+
+    @property
+    def descriptor(self) -> SharedArrayDescriptor:
+        """Picklable handle for :meth:`attach` in another process."""
+        if self._shm is None:
+            raise RuntimeError("SharedArray used after close()")
+        return SharedArrayDescriptor(self._shm.name, self._shape, self._dtype.str)
+
+    @property
+    def owner(self) -> bool:
+        """True in the creating process."""
+        return self._owner
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release this process's mapping (idempotent is an error: see tests)."""
+        if self._shm is None:
+            raise RuntimeError("SharedArray closed twice")
+        self._array = None
+        self._shm.close()
+        self._shm_closed = self._shm
+        self._shm = None
+
+    def unlink(self) -> None:
+        """Remove the underlying segment; only the creator may call this."""
+        if not self._owner:
+            raise RuntimeError("only the owning process may unlink a SharedArray")
+        shm = self._shm if self._shm is not None else getattr(self, "_shm_closed", None)
+        if shm is None:
+            raise RuntimeError("nothing to unlink")
+        shm.unlink()
+        self._shm_closed = None
+
+    def destroy(self) -> None:
+        """Convenience: close (if open) and unlink. Owner only."""
+        if self._shm is not None:
+            self.close()
+        self.unlink()
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._owner:
+            self.destroy()
+        elif self._shm is not None:
+            self.close()

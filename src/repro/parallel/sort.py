@@ -1,0 +1,151 @@
+"""Parallel sample sort, argsort, and top-k selection.
+
+Lines 7–9 of Algorithm 1 sort the score vector; the paper points at the
+parallel-sorting literature (Singh et al. 2018) for this step.  We provide
+the classic **sample sort** decomposition:
+
+1. each of ``P`` logical blocks is sorted locally;
+2. ``P−1`` splitters are chosen from a regular sample of the sorted blocks;
+3. every block is partitioned by the splitters (vectorised
+   ``np.searchsorted``);
+4. the per-(block, bucket) runs are concatenated per bucket and merged.
+
+Top-k selection — all the MN decoder actually needs — is implemented as a
+parallel *partial* selection: each block contributes its local top-k
+(``np.argpartition``), and the final top-k is selected among ``P·k``
+candidates, which is exact because the global top-k is a subset of the
+union of local top-ks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.partition import split_range
+from repro.util.validation import check_positive_int
+
+__all__ = ["parallel_sample_sort", "parallel_argsort", "parallel_top_k"]
+
+
+def parallel_sample_sort(values: np.ndarray, blocks: int = 4, oversample: int = 8) -> np.ndarray:
+    """Sort a 1-D array with the sample-sort decomposition.
+
+    Equivalent to ``np.sort`` (the tests assert equality); exists to express
+    and validate the decomposition that a multi-process or GPU deployment
+    would use.  ``blocks`` plays the role of the processor count.
+
+    Parameters
+    ----------
+    values:
+        1-D array of comparable values.
+    blocks:
+        Number of logical processors.
+    oversample:
+        Sample multiplier for splitter selection; larger values give more
+        even buckets.
+    """
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise ValueError("parallel_sample_sort expects a 1-D array")
+    blocks = check_positive_int(blocks, "blocks")
+    check_positive_int(oversample, "oversample")
+    n = values.size
+    if n <= 1 or blocks == 1:
+        return np.sort(values, kind="stable")
+
+    ranges = split_range(n, blocks)
+    local = [np.sort(values[lo:hi], kind="stable") for lo, hi in ranges]
+
+    # Regular sampling from each sorted block, then splitter selection.
+    sample = []
+    per_block = blocks * oversample
+    for arr in local:
+        if arr.size:
+            idx = np.linspace(0, arr.size - 1, num=min(arr.size, per_block)).astype(np.intp)
+            sample.append(arr[idx])
+    sample = np.sort(np.concatenate(sample), kind="stable")
+    cut = np.linspace(0, sample.size, num=blocks + 1).astype(np.intp)[1:-1]
+    splitters = sample[np.clip(cut, 0, sample.size - 1)] if sample.size else np.empty(0, values.dtype)
+
+    # Partition every block by the splitters and concatenate per bucket.
+    buckets: "list[list[np.ndarray]]" = [[] for _ in range(blocks)]
+    for arr in local:
+        if not arr.size:
+            continue
+        bounds = np.searchsorted(arr, splitters, side="right")
+        bounds = np.concatenate(([0], bounds, [arr.size]))
+        for b in range(blocks):
+            piece = arr[bounds[b] : bounds[b + 1]]
+            if piece.size:
+                buckets[b].append(piece)
+
+    out = np.empty_like(values)
+    pos = 0
+    for b in range(blocks):
+        if not buckets[b]:
+            continue
+        merged = np.sort(np.concatenate(buckets[b]), kind="stable")
+        out[pos : pos + merged.size] = merged
+        pos += merged.size
+    assert pos == n, "sample sort lost elements"
+    return out
+
+
+def parallel_argsort(values: np.ndarray, blocks: int = 4, descending: bool = False) -> np.ndarray:
+    """Index permutation sorting ``values``; ties broken by index (stable).
+
+    Implemented as a key-value sample sort over ``(value, index)`` pairs,
+    realised with a structured view so the heavy lifting stays in NumPy.
+    """
+    values = np.asarray(values)
+    if values.ndim != 1:
+        raise ValueError("parallel_argsort expects a 1-D array")
+    blocks = check_positive_int(blocks, "blocks")
+    n = values.size
+    keys = -values if descending else values
+    if blocks == 1 or n <= 1:
+        return np.argsort(keys, kind="stable")
+    ranges = split_range(n, blocks)
+    locals_sorted = []
+    for lo, hi in ranges:
+        order = np.argsort(keys[lo:hi], kind="stable") + lo
+        locals_sorted.append(order)
+    # Merge P sorted index runs by (key, index).
+    merged = np.concatenate(locals_sorted)
+    order = np.lexsort((merged, keys[merged]))
+    return merged[order]
+
+
+def parallel_top_k(scores: np.ndarray, k: int, blocks: int = 4) -> np.ndarray:
+    """Indices of the ``k`` largest scores, smallest-index-first on ties.
+
+    Exactness argument: every member of the global top-k is in the top-k of
+    its own block, hence among the ``blocks*k`` candidates.
+    """
+    scores = np.asarray(scores)
+    if scores.ndim != 1:
+        raise ValueError("parallel_top_k expects a 1-D array")
+    k = check_positive_int(k, "k")
+    blocks = check_positive_int(blocks, "blocks")
+    n = scores.size
+    if k > n:
+        raise ValueError(f"k={k} exceeds array length {n}")
+    if k == n:
+        return np.arange(n)
+
+    candidates = []
+    for lo, hi in split_range(n, blocks):
+        size = hi - lo
+        if size == 0:
+            continue
+        kk = min(k, size)
+        # Deterministic local selection by (-score, index): argpartition's
+        # arbitrary tie handling would make the candidate set depend on the
+        # block decomposition, breaking block invariance under ties.
+        block_scores = scores[lo:hi]
+        local = np.lexsort((np.arange(lo, hi), -block_scores))[:kk] + lo
+        candidates.append(local)
+    cand = np.concatenate(candidates)
+    # Deterministic tie-break: sort candidates by (-score, index), take k.
+    order = np.lexsort((cand, -scores[cand]))
+    return np.sort(cand[order[:k]])

@@ -1,0 +1,17 @@
+"""Random-number substrate.
+
+The paper's C++ simulator draws all randomness from ``std::mt19937_64``.
+:mod:`repro.rng.mt19937` re-implements that generator bit-for-bit (checked
+against the reference output vectors of Matsumoto & Nishimura's
+``mt19937-64.c``), so design matrices sampled here are statistically
+identical to the original simulator's.
+
+:mod:`repro.rng.streams` layers deterministic *substreams* on top so that a
+run partitioned over ``P`` workers produces exactly the same design as the
+serial run — the classic requirement for reproducible parallel Monte Carlo.
+"""
+
+from repro.rng.mt19937 import MT19937_64
+from repro.rng.streams import StreamFamily, batch_generator
+
+__all__ = ["MT19937_64", "StreamFamily", "batch_generator"]

@@ -1,0 +1,228 @@
+"""A from-scratch implementation of the 64-bit Mersenne Twister (MT19937-64).
+
+The paper (Section V) generates all random structures with the C++11
+``std::mt19937_64`` engine.  To make our pooling designs statistically
+faithful to the original simulator we re-implement the generator exactly as
+specified by Matsumoto and Nishimura (``mt19937-64.c``, 2004), which is also
+what ``std::mt19937_64`` implements.
+
+Implementation notes
+--------------------
+* State is held in a ``uint64`` NumPy array and the whole 312-word twist is
+  vectorised — a pure-Python word-at-a-time loop would be ~100x slower and
+  would dominate design sampling.
+* ``random_raw`` produces the canonical output sequence; with the reference
+  seed 5489 the first output is ``14514284786278117030`` and the 10,000th is
+  ``9981545732273789042`` (both checked in the test suite against the
+  published reference output).
+* Helpers convert the raw stream to uniform doubles in ``[0, 1)`` (53-bit,
+  identical to the reference ``genrand64_real2``) and to bounded integers
+  via unbiased rejection sampling (Lemire-style masking would bias;
+  ``std::uniform_int_distribution`` is implementation-defined, so we expose
+  our own well-defined contract instead).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MT19937_64"]
+
+_NN = 312
+_MM = 156
+_MATRIX_A = np.uint64(0xB5026F5AA96619E9)
+_UPPER_MASK = np.uint64(0xFFFFFFFF80000000)
+_LOWER_MASK = np.uint64(0x7FFFFFFF)
+_U64 = np.uint64
+_MASK64 = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+_SEED_MULT = np.uint64(6364136223846793005)
+_INIT_MULT_1 = np.uint64(3935559000370003845)
+_INIT_MULT_2 = np.uint64(2862933555777941757)
+
+
+class MT19937_64:
+    """64-bit Mersenne Twister with the reference initialisation.
+
+    Parameters
+    ----------
+    seed:
+        Either a non-negative integer (reference ``init_genrand64``) or a
+        sequence of integers (reference ``init_by_array64``).  Defaults to
+        the canonical seed ``5489``.
+
+    Examples
+    --------
+    >>> g = MT19937_64(5489)
+    >>> int(g.random_raw())
+    14514284786278117030
+    """
+
+    def __init__(self, seed: "int | list[int] | tuple[int, ...]" = 5489):
+        self._mt = np.zeros(_NN, dtype=np.uint64)
+        self._mti = _NN  # force twist on first draw
+        if isinstance(seed, (list, tuple)):
+            self._init_by_array([int(s) & 0xFFFFFFFFFFFFFFFF for s in seed])
+        elif isinstance(seed, (int, np.integer)) and not isinstance(seed, bool):
+            if seed < 0:
+                raise ValueError("seed must be non-negative")
+            self._init_genrand(int(seed) & 0xFFFFFFFFFFFFFFFF)
+        else:
+            raise TypeError(f"seed must be an int or a sequence of ints, got {type(seed).__name__}")
+
+    # -- reference initialisation ------------------------------------------------
+
+    def _init_genrand(self, seed: int) -> None:
+        mt = self._mt
+        with np.errstate(over="ignore"):
+            mt[0] = _U64(seed)
+            for i in range(1, _NN):
+                prev = mt[i - 1]
+                mt[i] = _SEED_MULT * (prev ^ (prev >> _U64(62))) + _U64(i)
+        self._mti = _NN
+
+    def _init_by_array(self, key: "list[int]") -> None:
+        if not key:
+            raise ValueError("seed sequence must be non-empty")
+        self._init_genrand(19650218)
+        mt = self._mt
+        i, j = 1, 0
+        k = max(_NN, len(key))
+        with np.errstate(over="ignore"):
+            for _ in range(k):
+                prev = mt[i - 1]
+                mt[i] = (mt[i] ^ ((prev ^ (prev >> _U64(62))) * _INIT_MULT_1)) + _U64(key[j]) + _U64(j)
+                i += 1
+                j += 1
+                if i >= _NN:
+                    mt[0] = mt[_NN - 1]
+                    i = 1
+                if j >= len(key):
+                    j = 0
+            for _ in range(_NN - 1):
+                prev = mt[i - 1]
+                mt[i] = (mt[i] ^ ((prev ^ (prev >> _U64(62))) * _INIT_MULT_2)) - _U64(i)
+                i += 1
+                if i >= _NN:
+                    mt[0] = mt[_NN - 1]
+                    i = 1
+            mt[0] = _U64(1) << _U64(63)
+        self._mti = _NN
+
+    # -- core twist ----------------------------------------------------------------
+
+    def _twist(self) -> None:
+        # The reference loop updates the state in place, so words at index
+        # >= NN-MM read *already twisted* values.  We replicate that with
+        # three segments whose reads only touch previously finished words.
+        mt = self._mt
+
+        def _xa(seg_cur: np.ndarray, seg_next: np.ndarray) -> np.ndarray:
+            x = (seg_cur & _UPPER_MASK) | (seg_next & _LOWER_MASK)
+            xa = x >> _U64(1)
+            return np.where((x & _U64(1)).astype(bool), xa ^ _MATRIX_A, xa)
+
+        # Segment 1: i in [0, NN-MM): mt[i+MM] still holds old values.
+        mt[: _NN - _MM] = mt[_MM:] ^ _xa(mt[: _NN - _MM], mt[1 : _NN - _MM + 1])
+        # Segment 2: i in [NN-MM, NN-1): mt[i+MM-NN] already twisted above.
+        mt[_NN - _MM : _NN - 1] = mt[: _MM - 1] ^ _xa(
+            mt[_NN - _MM : _NN - 1], mt[_NN - _MM + 1 : _NN]
+        )
+        # Segment 3: i = NN-1 wraps to the freshly twisted mt[0].
+        mt[_NN - 1 :] = mt[_MM - 1 : _MM] ^ _xa(mt[_NN - 1 :], mt[:1])
+        self._mti = 0
+
+    @staticmethod
+    def _temper(x: np.ndarray) -> np.ndarray:
+        x = x ^ ((x >> _U64(29)) & _U64(0x5555555555555555))
+        x = x ^ ((x << _U64(17)) & _U64(0x71D67FFFEDA60000))
+        x = x ^ ((x << _U64(37)) & _U64(0xFFF7EEE000000000))
+        x = x ^ (x >> _U64(43))
+        return x
+
+    # -- draws -----------------------------------------------------------------------
+
+    def random_raw(self, size: "int | None" = None) -> "np.uint64 | np.ndarray":
+        """Draw raw 64-bit words from the canonical output sequence.
+
+        With ``size=None`` a single ``numpy.uint64`` scalar is returned,
+        otherwise an array of that length.
+        """
+        if size is None:
+            return self.random_raw(1)[0]
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        out = np.empty(size, dtype=np.uint64)
+        filled = 0
+        while filled < size:
+            if self._mti >= _NN:
+                self._twist()
+            take = min(size - filled, _NN - self._mti)
+            out[filled : filled + take] = self._mt[self._mti : self._mti + take]
+            self._mti += take
+            filled += take
+        return self._temper(out)
+
+    def random(self, size: "int | None" = None) -> "float | np.ndarray":
+        """Uniform doubles in ``[0, 1)`` with 53-bit resolution.
+
+        Matches the reference ``genrand64_real2``: ``(x >> 11) / 2^53``.
+        """
+        raw = self.random_raw(size if size is not None else 1)
+        vals = (raw >> _U64(11)).astype(np.float64) * (1.0 / 9007199254740992.0)
+        if size is None:
+            return float(vals[0])
+        return vals
+
+    def integers(self, low: int, high: int, size: "int | None" = None) -> "int | np.ndarray":
+        """Unbiased integers in ``[low, high)`` via rejection sampling.
+
+        The rejection loop rarely iterates more than once (the acceptance
+        probability is ``>= 1/2`` for any range).
+        """
+        if high <= low:
+            raise ValueError("require high > low")
+        span = int(high) - int(low)
+        scalar = size is None
+        count = 1 if scalar else int(size)
+        if count < 0:
+            raise ValueError("size must be non-negative")
+        # Largest multiple of span that fits in 2^64 → acceptance threshold.
+        limit = (1 << 64) - ((1 << 64) % span)
+        out = np.empty(count, dtype=np.int64)
+        filled = 0
+        while filled < count:
+            need = count - filled
+            raw = self.random_raw(need + (need >> 3) + 1).astype(object)
+            accepted = [int(r) % span for r in raw if int(r) < limit]
+            take = min(len(accepted), need)
+            out[filled : filled + take] = np.asarray(accepted[:take], dtype=np.int64)
+            filled += take
+        out += low
+        if scalar:
+            return int(out[0])
+        return out
+
+    def shuffle(self, arr: np.ndarray) -> None:
+        """In-place Fisher–Yates shuffle driven by this generator."""
+        n = len(arr)
+        for i in range(n - 1, 0, -1):
+            j = self.integers(0, i + 1)
+            arr[i], arr[j] = arr[j], arr[i]
+
+    # -- state management -----------------------------------------------------------
+
+    def getstate(self) -> "tuple[np.ndarray, int]":
+        """Return ``(state_vector_copy, index)`` — enough to clone the stream."""
+        return self._mt.copy(), self._mti
+
+    def setstate(self, state: "tuple[np.ndarray, int]") -> None:
+        """Restore a state captured by :meth:`getstate`."""
+        mt, mti = state
+        mt = np.asarray(mt, dtype=np.uint64)
+        if mt.shape != (_NN,):
+            raise ValueError(f"state vector must have shape ({_NN},)")
+        if not (0 <= mti <= _NN):
+            raise ValueError("state index out of range")
+        self._mt = mt.copy()
+        self._mti = int(mti)

@@ -1,0 +1,38 @@
+"""Shared utilities: argument validation, statistics, terminal plotting.
+
+These helpers are deliberately dependency-light; every heavier subsystem
+(:mod:`repro.core`, :mod:`repro.parallel`, ...) builds on top of them.
+"""
+
+from repro.util.validation import (
+    check_positive_int,
+    check_nonneg_int,
+    check_in_open_unit_interval,
+    check_probability,
+    check_array_1d,
+    check_binary_signal,
+)
+from repro.util.stats import (
+    mean_and_ci,
+    wilson_interval,
+    summarize_bool,
+    summarize_float,
+    SummaryStats,
+)
+from repro.util.asciiplot import ascii_series_plot, format_table
+
+__all__ = [
+    "check_positive_int",
+    "check_nonneg_int",
+    "check_in_open_unit_interval",
+    "check_probability",
+    "check_array_1d",
+    "check_binary_signal",
+    "mean_and_ci",
+    "wilson_interval",
+    "summarize_bool",
+    "summarize_float",
+    "SummaryStats",
+    "ascii_series_plot",
+    "format_table",
+]

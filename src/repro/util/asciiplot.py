@@ -1,0 +1,137 @@
+"""Terminal rendering of experiment output.
+
+The original paper ships gnuplot scripts.  This environment is headless and
+offline, so every figure driver emits (a) machine-readable CSV and (b) an
+ASCII rendering good enough to eyeball the *shape* of the reproduced curve
+(S-curves of Fig. 3, log-log scaling of Fig. 2, ...).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_series_plot", "format_table"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _nice_ticks(lo: float, hi: float, count: int) -> list[float]:
+    if hi <= lo:
+        hi = lo + 1.0
+    return [lo + (hi - lo) * i / (count - 1) for i in range(count)]
+
+
+def ascii_series_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Render named ``(x, y)`` series into a text canvas.
+
+    Parameters
+    ----------
+    series:
+        Mapping from series label to a sequence of ``(x, y)`` points.
+    width, height:
+        Canvas size in characters (excluding axes).
+    logx, logy:
+        Plot on log10 axes; non-positive values are dropped.
+    title, xlabel, ylabel:
+        Decorations.
+
+    Returns
+    -------
+    str
+        A multi-line string, one marker character per series.
+    """
+    if not series:
+        raise ValueError("series must not be empty")
+    if width < 8 or height < 4:
+        raise ValueError("canvas too small")
+
+    def tx(v: float) -> float:
+        return math.log10(v) if logx else v
+
+    def ty(v: float) -> float:
+        return math.log10(v) if logy else v
+
+    pts_by_label: dict[str, list[tuple[float, float]]] = {}
+    for label, pts in series.items():
+        keep = []
+        for x, y in pts:
+            if (logx and x <= 0) or (logy and y <= 0):
+                continue
+            if math.isfinite(x) and math.isfinite(y):
+                keep.append((tx(x), ty(y)))
+        pts_by_label[label] = keep
+
+    all_pts = [p for pts in pts_by_label.values() for p in pts]
+    if not all_pts:
+        raise ValueError("no plottable points (all filtered by log axes?)")
+    xs = [p[0] for p in all_pts]
+    ys = [p[1] for p in all_pts]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    if xmax == xmin:
+        xmax = xmin + 1.0
+    if ymax == ymin:
+        ymax = ymin + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    for idx, (label, pts) in enumerate(pts_by_label.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in pts:
+            col = int(round((x - xmin) / (xmax - xmin) * (width - 1)))
+            row = int(round((y - ymin) / (ymax - ymin) * (height - 1)))
+            canvas[height - 1 - row][col] = marker
+
+    lines: list[str] = []
+    if title:
+        lines.append(title.center(width + 10))
+    yticks = _nice_ticks(ymin, ymax, 5)
+    tick_rows = {height - 1 - int(round((t - ymin) / (ymax - ymin) * (height - 1))): t for t in yticks}
+    for r in range(height):
+        if r in tick_rows:
+            val = tick_rows[r]
+            shown = 10**val if logy else val
+            prefix = f"{shown:9.3g} |"
+        else:
+            prefix = " " * 9 + " |"
+        lines.append(prefix + "".join(canvas[r]))
+    lines.append(" " * 10 + "+" + "-" * width)
+    xticks = _nice_ticks(xmin, xmax, 5)
+    tick_line = [" "] * (width + 11)
+    for t in xticks:
+        col = 11 + int(round((t - xmin) / (xmax - xmin) * (width - 1)))
+        shown = 10**t if logx else t
+        text = f"{shown:.3g}"
+        for i, ch in enumerate(text):
+            if col + i < len(tick_line):
+                tick_line[col + i] = ch
+    lines.append("".join(tick_line))
+    lines.append((xlabel + "   " + " | ".join(f"{_MARKERS[i % len(_MARKERS)]}={lab}" for i, lab in enumerate(pts_by_label))).strip())
+    if ylabel:
+        lines.insert(1 if title else 0, f"[{ylabel}]")
+    return "\n".join(lines)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Left-aligned monospace table with a separator line, like pytest output."""
+    cols = len(headers)
+    for r in rows:
+        if len(r) != cols:
+            raise ValueError("row width does not match headers")
+    str_rows = [[str(c) for c in r] for r in rows]
+    widths = [max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i]) for i in range(cols)]
+    out = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    out.append("  ".join("-" * widths[i] for i in range(cols)))
+    for r in str_rows:
+        out.append("  ".join(r[i].ljust(widths[i]) for i in range(cols)))
+    return "\n".join(out)

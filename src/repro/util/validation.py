@@ -1,0 +1,104 @@
+"""Argument validation helpers.
+
+Every public entry point in the library validates its inputs through these
+functions so that error messages are uniform and informative.  They raise
+:class:`ValueError` / :class:`TypeError` early instead of letting NumPy
+produce an obscure broadcasting failure deep inside a kernel.
+"""
+
+from __future__ import annotations
+
+import numbers
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "check_positive_int",
+    "check_nonneg_int",
+    "check_in_open_unit_interval",
+    "check_probability",
+    "check_array_1d",
+    "check_binary_signal",
+]
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer ``>= 1`` and return it as ``int``.
+
+    Accepts Python ints and NumPy integer scalars; rejects bools, floats
+    (even integral ones, to catch accidental ``n/2`` style bugs) and
+    anything non-numeric.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    value = int(value)
+    if value < 1:
+        raise ValueError(f"{name} must be >= 1, got {value}")
+    return value
+
+
+def check_nonneg_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer ``>= 0`` and return it as ``int``."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    value = int(value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_open_unit_interval(value: Any, name: str) -> float:
+    """Validate ``0 < value < 1`` (the sparsity exponent ``theta`` regime)."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not (0.0 < value < 1.0):
+        raise ValueError(f"{name} must lie strictly between 0 and 1, got {value}")
+    return value
+
+
+def check_probability(value: Any, name: str) -> float:
+    """Validate ``0 <= value <= 1``."""
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must lie in [0, 1], got {value}")
+    return value
+
+
+def check_array_1d(value: Any, name: str, *, dtype=None, length: int | None = None) -> np.ndarray:
+    """Coerce ``value`` to a 1-D :class:`numpy.ndarray` and validate its shape.
+
+    Parameters
+    ----------
+    value:
+        Array-like input.
+    name:
+        Parameter name used in error messages.
+    dtype:
+        Optional dtype to coerce to.
+    length:
+        If given, the required number of elements.
+    """
+    arr = np.asarray(value)
+    if dtype is not None:
+        arr = arr.astype(dtype, copy=False)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if length is not None and arr.shape[0] != length:
+        raise ValueError(f"{name} must have length {length}, got {arr.shape[0]}")
+    return arr
+
+
+def check_binary_signal(value: Any, name: str = "sigma", *, length: int | None = None) -> np.ndarray:
+    """Validate a 0/1 signal vector and return it as ``int8``.
+
+    The returned array is a defensive copy only when a dtype conversion is
+    required; callers must not mutate it.
+    """
+    arr = check_array_1d(value, name, length=length)
+    if arr.size and not np.isin(np.unique(arr), (0, 1)).all():
+        raise ValueError(f"{name} must contain only 0/1 entries")
+    return arr.astype(np.int8, copy=False)

@@ -1,0 +1,53 @@
+"""Tests for the terminal plotting helpers."""
+
+import pytest
+
+from repro.util.asciiplot import ascii_series_plot, format_table
+
+
+class TestAsciiPlot:
+    def test_renders_markers(self):
+        out = ascii_series_plot({"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]})
+        assert "o" in out and "x" in out
+        assert "a" in out and "b" in out
+
+    def test_log_axes_drop_nonpositive(self):
+        out = ascii_series_plot({"a": [(0, 1), (10, 10), (100, 100)]}, logx=True, logy=True)
+        assert isinstance(out, str)
+
+    def test_all_filtered_raises(self):
+        with pytest.raises(ValueError, match="no plottable"):
+            ascii_series_plot({"a": [(-1, 1)]}, logx=True)
+
+    def test_empty_series_raises(self):
+        with pytest.raises(ValueError):
+            ascii_series_plot({})
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_series_plot({"a": [(0, 0)]}, width=2, height=2)
+
+    def test_title_included(self):
+        out = ascii_series_plot({"a": [(0, 0), (1, 1)]}, title="Fig test")
+        assert "Fig test" in out
+
+    def test_constant_series(self):
+        out = ascii_series_plot({"a": [(0, 5), (1, 5)]})
+        assert "o" in out
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["col", "x"], [["long-value", 1], ["s", 22]])
+        lines = out.splitlines()
+        assert lines[0].startswith("col")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out

@@ -1,0 +1,142 @@
+"""Tests for the baseline decoders (LP, OMP, AMP, binary GT)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.amp import amp_decode
+from repro.baselines.bin_gt import BernoulliORDesign, comp_decode, dd_decode, run_gt_trial
+from repro.baselines.lp import basis_pursuit_decode
+from repro.baselines.omp import omp_decode
+from repro.core.design import PoolingDesign
+from repro.core.signal import exact_recovery, random_signal
+
+
+def _instance(n, k, m, seed):
+    rng = np.random.default_rng(seed)
+    sigma = random_signal(n, k, rng)
+    design = PoolingDesign.sample(n, m, rng)
+    return design, sigma, design.query_results(sigma)
+
+
+EASY = dict(n=250, k=5, m=220)
+
+
+class TestBasisPursuit:
+    def test_recovers_easy_instance(self):
+        design, sigma, y = _instance(seed=0, **EASY)
+        assert exact_recovery(sigma, basis_pursuit_decode(design, y, EASY["k"]))
+
+    def test_output_weight_k(self):
+        design, sigma, y = _instance(150, 4, 20, 1)
+        assert basis_pursuit_decode(design, y, 4).sum() == 4
+
+    def test_rejects_bad_k(self):
+        design, _, y = _instance(50, 2, 10, 2)
+        with pytest.raises(ValueError):
+            basis_pursuit_decode(design, y, 51)
+
+    def test_rejects_bad_y(self):
+        design, _, _ = _instance(50, 2, 10, 2)
+        with pytest.raises(ValueError):
+            basis_pursuit_decode(design, np.zeros(11), 2)
+
+
+class TestOMP:
+    def test_recovers_easy_instance(self):
+        design, sigma, y = _instance(seed=3, **EASY)
+        assert exact_recovery(sigma, omp_decode(design, y, EASY["k"]))
+
+    def test_output_weight_k(self):
+        design, sigma, y = _instance(150, 4, 15, 4)
+        assert omp_decode(design, y, 4).sum() == 4
+
+    def test_never_selects_duplicate(self):
+        design, sigma, y = _instance(100, 6, 80, 5)
+        est = omp_decode(design, y, 6)
+        assert est.sum() == 6  # distinct support of size k
+
+    def test_rejects_bad_args(self):
+        design, _, y = _instance(50, 2, 10, 6)
+        with pytest.raises(ValueError):
+            omp_decode(design, y, 0)
+
+
+class TestAMP:
+    def test_recovers_easy_instance(self):
+        design, sigma, y = _instance(seed=7, **EASY)
+        result = amp_decode(design, y, EASY["k"])
+        assert exact_recovery(sigma, result.sigma_hat)
+
+    def test_converges(self):
+        design, sigma, y = _instance(seed=8, **EASY)
+        result = amp_decode(design, y, EASY["k"])
+        assert result.converged
+        assert result.iterations <= 50
+
+    def test_posterior_in_unit_interval(self):
+        design, sigma, y = _instance(200, 4, 60, 9)
+        result = amp_decode(design, y, 4)
+        assert (result.posterior >= 0).all() and (result.posterior <= 1).all()
+
+    def test_tau_history_recorded(self):
+        design, sigma, y = _instance(200, 4, 60, 10)
+        result = amp_decode(design, y, 4)
+        assert len(result.tau_history) == result.iterations
+        assert all(t > 0 for t in result.tau_history)
+
+    def test_rejects_k_ge_n(self):
+        design, _, y = _instance(50, 2, 10, 11)
+        with pytest.raises(ValueError):
+            amp_decode(design, y, 50)
+
+
+class TestBinaryGT:
+    def test_or_results_binary(self):
+        rng = np.random.default_rng(0)
+        sigma = random_signal(100, 5, rng)
+        design = BernoulliORDesign.sample(100, 60, 5, rng)
+        r = design.query_results(sigma)
+        assert set(np.unique(r)).issubset({0, 1})
+
+    def test_comp_no_false_negatives(self):
+        # COMP never clears a true one-entry.
+        rng = np.random.default_rng(1)
+        sigma = random_signal(200, 6, rng)
+        design = BernoulliORDesign.sample(200, 80, 6, rng)
+        est = comp_decode(design, design.query_results(sigma))
+        assert ((sigma == 1) <= (est == 1)).all()
+
+    def test_dd_no_false_positives(self):
+        # DD only declares definite defectives.
+        rng = np.random.default_rng(2)
+        sigma = random_signal(200, 6, rng)
+        design = BernoulliORDesign.sample(200, 80, 6, rng)
+        est = dd_decode(design, design.query_results(sigma))
+        assert ((est == 1) <= (sigma == 1)).all()
+
+    def test_dd_recovers_with_many_tests(self):
+        rng = np.random.default_rng(3)
+        sigma = random_signal(300, 5, rng)
+        design = BernoulliORDesign.sample(300, 400, 5, rng)
+        est = dd_decode(design, design.query_results(sigma))
+        assert exact_recovery(sigma, est)
+
+    def test_trial_wrapper(self):
+        r = run_gt_trial(500, 300, theta=0.25, seed=0)
+        assert r.n == 500
+        assert 0.0 <= r.dd_overlap <= 1.0
+        # DD success implies COMP candidates contained the truth.
+        if r.dd_success:
+            assert r.dd_overlap == 1.0
+
+    def test_result_length_validation(self):
+        rng = np.random.default_rng(4)
+        design = BernoulliORDesign.sample(50, 20, 3, rng)
+        with pytest.raises(ValueError):
+            comp_decode(design, np.zeros(21, dtype=np.int8))
+        with pytest.raises(ValueError):
+            dd_decode(design, np.zeros(19, dtype=np.int8))
+
+    def test_membership_validation(self):
+        with pytest.raises(ValueError):
+            BernoulliORDesign(np.zeros(5, dtype=bool))

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def _isolated_results(tmp_path, monkeypatch):
+    monkeypatch.setenv("POOLED_REPRO_RESULTS", str(tmp_path / "results"))
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig2_defaults(self):
+        args = build_parser().parse_args(["fig2"])
+        assert args.trials == 10
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9"])
+
+
+class TestCommands:
+    def test_fig1(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "[2, 2, 3, 1, 1]" in out
+
+    def test_thresh(self, capsys):
+        assert main(["thresh", "--n", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "MN (Thm1)" in out
+
+    def test_it_small(self, capsys):
+        assert main(["it", "--n", "20", "--k", "2", "--trials", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "P[unique]" in out
+
+    def test_fig3_small(self, capsys):
+        rc = main(["fig3", "--n", "200", "--thetas", "0.3", "--points", "3", "--trials", "3", "--workers", "1"])
+        assert rc == 0
+        assert "success" in capsys.readouterr().out
+
+    def test_fig4_small(self, capsys):
+        rc = main(["fig4", "--n", "200", "--thetas", "0.3", "--points", "3", "--trials", "3", "--workers", "1"])
+        assert rc == 0
+        assert "overlap" in capsys.readouterr().out
+
+    def test_fig2_small(self, capsys):
+        rc = main(["fig2", "--ns", "100", "200", "--thetas", "0.3", "--trials", "2", "--workers", "1"])
+        assert rc == 0
+        assert "m_required" in capsys.readouterr().out
+
+    def test_claims_small(self, capsys):
+        rc = main(["claims", "--trials", "3", "--workers", "1"])
+        assert rc == 0
+        assert "sec6_99pct_overlap" in capsys.readouterr().out

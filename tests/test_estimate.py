@@ -1,0 +1,65 @@
+"""Tests for k estimation from pooled results."""
+
+import numpy as np
+import pytest
+
+from repro.core.design import PoolingDesign, stream_design_stats
+from repro.core.estimate import decode_with_estimated_k, estimate_k
+from repro.core.signal import exact_recovery, random_signal
+
+
+def _stats(n, k, m, seed):
+    rng = np.random.default_rng(seed)
+    sigma = random_signal(n, k, rng)
+    return stream_design_stats(sigma, m, root_seed=seed), sigma
+
+
+class TestEstimateK:
+    def test_recovers_true_k(self):
+        for seed in range(5):
+            stats, sigma = _stats(500, 7, 300, seed)
+            est = estimate_k(stats)
+            assert est.k_hat == 7
+
+    def test_reliability_flag_with_many_queries(self):
+        stats, _ = _stats(500, 7, 400, 0)
+        assert estimate_k(stats).reliable
+
+    def test_unreliable_with_one_query(self):
+        stats, _ = _stats(500, 7, 1, 0)
+        est = estimate_k(stats)
+        assert not est.reliable
+        assert est.std_error == float("inf")
+
+    def test_raw_near_k(self):
+        stats, _ = _stats(1000, 10, 500, 1)
+        est = estimate_k(stats)
+        assert abs(est.raw - 10) < 1.0
+
+    def test_zero_signal(self):
+        sigma = np.zeros(200, dtype=np.int8)
+        sigma[0] = 1  # weight-1 minimum for generation; then blank it manually
+        stats = stream_design_stats(np.zeros(200, dtype=np.int8), 50, root_seed=3)
+        assert estimate_k(stats).k_hat == 0
+
+
+class TestDecodeWithEstimatedK:
+    def test_full_pipeline(self):
+        stats, sigma = _stats(500, 7, 450, 2)
+        sigma_hat, est = decode_with_estimated_k(stats)
+        assert est.k_hat == 7
+        assert exact_recovery(sigma, sigma_hat)
+
+    def test_zero_estimate_raises(self):
+        stats = stream_design_stats(np.zeros(200, dtype=np.int8), 50, root_seed=4)
+        with pytest.raises(RuntimeError, match="estimated weight is 0"):
+            decode_with_estimated_k(stats)
+
+    def test_matches_known_k_decoding(self):
+        from repro.core.mn import MNDecoder
+
+        stats, sigma = _stats(400, 5, 350, 5)
+        est_hat, est = decode_with_estimated_k(stats)
+        known_hat = MNDecoder().decode(stats, 5)
+        assert est.k_hat == 5
+        assert np.array_equal(est_hat, known_hat)

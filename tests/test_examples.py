@@ -1,0 +1,53 @@
+"""Smoke tests: every shipped example runs to completion.
+
+The examples assert their own success criteria internally (exact
+recovery, consistency of timings), so a clean exit is a meaningful check;
+we additionally grep the output for the headline lines.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    return result.stdout
+
+
+@pytest.mark.parametrize(
+    "script,expected",
+    [
+        ("quickstart.py", "exact recovery: True"),
+        ("epidemiology_screening.py", "exact recovery: True"),
+        ("feature_selection.py", "exact recovery         : True"),
+        ("lab_scheduling.py", "one-shot reference"),
+        ("audit_trail.py", "exact recovery from audit artefacts: True"),
+    ],
+)
+def test_example_runs(script, expected):
+    out = _run(script)
+    assert expected in out
+
+
+def test_all_examples_are_covered():
+    """Every example script in the directory is exercised above."""
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    covered = {
+        "quickstart.py",
+        "epidemiology_screening.py",
+        "feature_selection.py",
+        "lab_scheduling.py",
+        "audit_trail.py",
+    }
+    assert scripts == covered, f"uncovered examples: {scripts - covered}"

@@ -1,0 +1,85 @@
+"""Tests for the exhaustive (information-theoretic) decoder."""
+
+import numpy as np
+import pytest
+
+from repro.core.design import PoolingDesign
+from repro.core.exhaustive import (
+    consistent_supports,
+    count_consistent_by_overlap,
+    exhaustive_decode,
+)
+from repro.core.signal import random_signal
+from repro.core.thresholds import m_information_parallel
+
+
+def _instance(n, k, m, seed):
+    rng = np.random.default_rng(seed)
+    sigma = random_signal(n, k, rng)
+    design = PoolingDesign.sample(n, m, rng)
+    return design, sigma, design.query_results(sigma)
+
+
+class TestConsistency:
+    def test_ground_truth_always_consistent(self):
+        for seed in range(5):
+            design, sigma, y = _instance(18, 3, 6, seed)
+            supports = consistent_supports(design, y, 3)
+            truth = set(np.flatnonzero(sigma).tolist())
+            assert any(set(s.tolist()) == truth for s in supports)
+
+    def test_unique_above_it_threshold(self):
+        n, k = 24, 3
+        m = int(3.0 * m_information_parallel(n, k))
+        unique = 0
+        for seed in range(10):
+            design, sigma, y = _instance(n, k, m, seed)
+            sigma_hat, count = exhaustive_decode(design, y, k)
+            if count == 1:
+                unique += 1
+                assert np.array_equal(sigma_hat, sigma)
+        assert unique >= 8  # w.h.p. at 3x the threshold
+
+    def test_ambiguous_with_too_few_queries(self):
+        design, sigma, y = _instance(20, 3, 1, 0)
+        sigma_hat, count = exhaustive_decode(design, y, 3)
+        assert count > 1
+        assert sigma_hat is None
+
+    def test_batching_does_not_change_result(self):
+        design, sigma, y = _instance(16, 3, 8, 1)
+        a = consistent_supports(design, y, 3, batch=7)
+        b = consistent_supports(design, y, 3, batch=4096)
+        assert len(a) == len(b)
+        assert {tuple(s.tolist()) for s in a} == {tuple(s.tolist()) for s in b}
+
+    def test_guard_rejects_large_search(self):
+        rng = np.random.default_rng(0)
+        design = PoolingDesign.sample(1000, 5, rng)
+        with pytest.raises(ValueError, match="guard"):
+            consistent_supports(design, np.zeros(5, dtype=np.int64), 10)
+
+    def test_rejects_wrong_y_length(self):
+        design, _, _ = _instance(16, 3, 8, 2)
+        with pytest.raises(ValueError):
+            consistent_supports(design, np.zeros(9, dtype=np.int64), 3)
+
+
+class TestCensus:
+    def test_census_excludes_ground_truth(self):
+        design, sigma, y = _instance(16, 3, 30, 3)
+        census = count_consistent_by_overlap(design, y, sigma, 3)
+        assert set(census.keys()) == {0, 1, 2}  # overlap k excluded
+        # With many queries there should be no alternatives at all.
+        assert sum(census.values()) == 0
+
+    def test_census_counts_alternatives(self):
+        design, sigma, y = _instance(20, 3, 1, 4)
+        census = count_consistent_by_overlap(design, y, sigma, 3)
+        supports = consistent_supports(design, y, 3)
+        assert sum(census.values()) == len(supports) - 1
+
+    def test_census_validates_sigma_weight(self):
+        design, sigma, y = _instance(16, 3, 5, 5)
+        with pytest.raises(ValueError):
+            count_consistent_by_overlap(design, y, sigma, 4)

@@ -1,0 +1,110 @@
+"""Tests for the first-moment rate function and the c = 2 transition."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.firstmoment import (
+    critical_c,
+    entropy,
+    expected_log_Zkl,
+    overlap_upper_limit,
+    rate_function,
+    rate_function_max,
+)
+from repro.core.thresholds import GAMMA
+
+
+class TestEntropy:
+    def test_symmetry(self):
+        assert entropy(0.3) == pytest.approx(entropy(0.7))
+
+    def test_endpoints_zero(self):
+        assert entropy(0.0) == 0.0
+        assert entropy(1.0) == 0.0
+
+    def test_max_at_half(self):
+        assert entropy(0.5) == pytest.approx(math.log(2))
+        assert entropy(0.5) > entropy(0.4) > entropy(0.1)
+
+    def test_vectorised(self):
+        out = entropy(np.array([0.0, 0.5, 1.0]))
+        assert out.shape == (3,)
+        assert out[1] == pytest.approx(math.log(2))
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            entropy(1.2)
+
+
+class TestOverlapLimit:
+    def test_formula(self):
+        assert overlap_upper_limit(100) == pytest.approx(100 - GAMMA * math.log(100))
+
+    def test_below_k(self):
+        assert overlap_upper_limit(50) < 50
+
+
+class TestRateFunction:
+    def test_subcritical_positive_at_max(self):
+        # c < 2: exponentially many consistent alternatives expected.
+        _, val = rate_function_max(10**6, 1000, c=1.0)
+        assert val > 0
+
+    def test_supercritical_negative_at_max(self):
+        # c > 2: first moment vanishes.
+        _, val = rate_function_max(10**6, 1000, c=3.0)
+        assert val < 0
+
+    def test_maximiser_scales_like_k2_over_n(self):
+        n, k = 10**6, 1000
+        ell_star, _ = rate_function_max(n, k, c=2.0)
+        ratio = ell_star / (k * k / n)
+        assert 0.05 < ratio < 50  # Θ(k²/n) with a modest constant
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            rate_function(0.0, 100, 1, 2.0)  # k < 2
+        with pytest.raises(ValueError):
+            rate_function(-1.0, 100, 10, 2.0)
+        with pytest.raises(ValueError):
+            rate_function(10.0, 100, 10, 2.0)  # ell >= k
+        with pytest.raises(ValueError):
+            rate_function(1.0, 100, 10, 0.0)
+
+    def test_vectorised_matches_scalar(self):
+        ells = np.array([0.0, 1.0, 2.0])
+        vec = rate_function(ells, 10**4, 100, 2.5)
+        scal = [rate_function(float(e), 10**4, 100, 2.5) for e in ells]
+        assert np.allclose(vec, scal)
+
+
+class TestCriticalC:
+    def test_converges_to_two(self):
+        # Lemma 10: c* → 2. Convergence is slow (log k corrections);
+        # check the trend and the large-n proximity.
+        cs = [critical_c(n, int(round(n**0.5))) for n in (10**4, 10**6, 10**8)]
+        assert abs(cs[-1] - 2.0) < 0.35
+        assert abs(cs[-1] - 2.0) <= abs(cs[0] - 2.0) + 1e-9
+
+    def test_theta_dependence_mild(self):
+        n = 10**8
+        for theta in (0.3, 0.5, 0.7):
+            c = critical_c(n, int(round(n**theta)))
+            assert 1.2 < c < 3.0
+
+
+class TestDirectBound:
+    def test_more_queries_smaller_bound(self):
+        a = expected_log_Zkl(0, 1000, 8, 50)
+        b = expected_log_Zkl(0, 1000, 8, 200)
+        assert b < a
+
+    def test_negative_well_above_threshold(self):
+        # With generous m the expected count must vanish (log << 0).
+        assert expected_log_Zkl(0, 1000, 8, 400) < 0
+
+    def test_rejects_bad_overlap(self):
+        with pytest.raises(ValueError):
+            expected_log_Zkl(8, 1000, 8, 100)

@@ -1,0 +1,46 @@
+"""Tests for gnuplot script emission."""
+
+import pytest
+
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.gnuplot import emit_fig2_script, emit_fig34_script
+
+
+@pytest.fixture(autouse=True)
+def _isolated_results(tmp_path, monkeypatch):
+    monkeypatch.setenv("POOLED_REPRO_RESULTS", str(tmp_path / "results"))
+
+
+class TestFig2Script:
+    def test_emits_next_to_csv(self):
+        run_fig2(ns=(100,), thetas=(0.3,), trials=2, root_seed=0, csv_name="fig2")
+        path = emit_fig2_script("fig2", thetas=(0.3,))
+        assert path.exists()
+        text = path.read_text()
+        assert "set logscale xy" in text
+        assert "fig2.csv" in text
+        assert "theta=0.3" in text
+
+    def test_series_per_theta(self):
+        path = emit_fig2_script("fig2x", thetas=(0.1, 0.2))
+        text = path.read_text()
+        assert text.count("with linespoints") == 2
+        assert text.count("dashtype 3") == 2  # theory lines
+
+
+class TestFig34Script:
+    def test_success_metric(self):
+        run_fig3(n=200, thetas=(0.3,), ms=(50, 150), trials=2, root_seed=0, csv_name="fig3_test")
+        path = emit_fig34_script("fig3_test", metric="success", thetas=(0.3,))
+        text = path.read_text()
+        assert "set yrange [0:1.05]" in text
+        assert "using ($1==0.3? $3 : 1/0):4" in text
+
+    def test_overlap_metric_uses_column_7(self):
+        path = emit_fig34_script("fig4_test", metric="overlap", thetas=(0.2,))
+        assert ":7" in path.read_text()
+
+    def test_bad_metric_rejected(self):
+        with pytest.raises(ValueError, match="metric"):
+            emit_fig34_script("x", metric="speed")

@@ -1,0 +1,69 @@
+"""Tests for latency models."""
+
+import numpy as np
+import pytest
+
+from repro.machine.latency import DeterministicLatency, LognormalLatency, ShiftedExponentialLatency
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestDeterministic:
+    def test_constant(self, rng):
+        out = DeterministicLatency(2.5).sample(10, rng)
+        assert np.array_equal(out, np.full(10, 2.5))
+
+    def test_zero_count(self, rng):
+        assert DeterministicLatency().sample(0, rng).size == 0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DeterministicLatency(0.0)
+
+    def test_rejects_negative_count(self, rng):
+        with pytest.raises(ValueError):
+            DeterministicLatency().sample(-1, rng)
+
+
+class TestLognormal:
+    def test_positive(self, rng):
+        out = LognormalLatency(1.0, 0.5).sample(1000, rng)
+        assert (out > 0).all()
+
+    def test_median_approx(self, rng):
+        out = LognormalLatency(2.0, 0.3).sample(20000, rng)
+        assert np.median(out) == pytest.approx(2.0, rel=0.05)
+
+    def test_zero_sigma_deterministic(self, rng):
+        out = LognormalLatency(1.5, 0.0).sample(5, rng)
+        assert np.allclose(out, 1.5)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LognormalLatency(-1.0)
+        with pytest.raises(ValueError):
+            LognormalLatency(1.0, -0.1)
+
+    def test_reproducible_with_seed(self):
+        a = LognormalLatency().sample(10, np.random.default_rng(7))
+        b = LognormalLatency().sample(10, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+
+class TestShiftedExponential:
+    def test_floor_respected(self, rng):
+        out = ShiftedExponentialLatency(0.7, 0.2).sample(5000, rng)
+        assert out.min() >= 0.7
+
+    def test_mean_approx(self, rng):
+        out = ShiftedExponentialLatency(1.0, 2.0).sample(50000, rng)
+        assert out.mean() == pytest.approx(3.0, rel=0.05)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ShiftedExponentialLatency(0.0, 1.0)
+        with pytest.raises(ValueError):
+            ShiftedExponentialLatency(1.0, 0.0)

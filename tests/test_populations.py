@@ -1,0 +1,83 @@
+"""Tests for the workload generators (prevalence, Heaps law)."""
+
+import numpy as np
+import pytest
+
+from repro.core.populations import HeapsLawProcess, PrevalencePopulation, sampled_signal
+
+
+class TestPrevalence:
+    def test_uk_example_matches_paper(self):
+        pop = PrevalencePopulation.uk_hiv_example()
+        # §I-D: n = 10,000 probes -> ~16 expected positives, θ ≈ 0.3.
+        assert pop.expected_k(10_000) == pytest.approx(15.65, abs=0.1)
+        assert pop.effective_theta(10_000) == pytest.approx(0.3, abs=0.02)
+
+    def test_sample_weight_concentrates(self):
+        pop = PrevalencePopulation(0.01)
+        rng = np.random.default_rng(0)
+        weights = [int(pop.sample_signal(10_000, rng).sum()) for _ in range(20)]
+        assert 60 < np.mean(weights) < 140  # around np = 100
+
+    def test_signal_is_binary_int8(self):
+        pop = PrevalencePopulation(0.5)
+        sig = pop.sample_signal(100, np.random.default_rng(1))
+        assert sig.dtype == np.int8
+        assert set(np.unique(sig)).issubset({0, 1})
+
+    def test_rejects_zero_prevalence(self):
+        with pytest.raises(ValueError):
+            PrevalencePopulation(0.0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            PrevalencePopulation(1.5)
+
+
+class TestHeapsLaw:
+    def test_weight_scaling(self):
+        proc = HeapsLawProcess(theta=0.5)
+        assert proc.weight(10_000) == 100
+        assert proc.weight(100) == 10
+
+    def test_coefficient(self):
+        proc = HeapsLawProcess(theta=0.5, coefficient=2.0)
+        assert proc.weight(100) == 20
+
+    def test_weight_clamped(self):
+        proc = HeapsLawProcess(theta=0.9, coefficient=100.0)
+        assert proc.weight(10) == 10  # clamped to n
+
+    def test_sample_signal_weight(self):
+        proc = HeapsLawProcess(theta=0.4)
+        sig = proc.sample_signal(1000, np.random.default_rng(2))
+        assert int(sig.sum()) == proc.weight(1000)
+
+    def test_rejects_bad_theta(self):
+        with pytest.raises(ValueError):
+            HeapsLawProcess(theta=1.0)
+        with pytest.raises(ValueError):
+            HeapsLawProcess(theta=0.5, coefficient=0.0)
+
+
+class TestFrontEnd:
+    def test_dispatch(self):
+        rng = np.random.default_rng(3)
+        a = sampled_signal(PrevalencePopulation(0.1), 50, rng)
+        b = sampled_signal(HeapsLawProcess(0.3), 50, rng)
+        assert a.shape == b.shape == (50,)
+
+    def test_end_to_end_reconstruction(self):
+        """A prevalence workload through the full pipeline with k estimation."""
+        from repro.core.design import stream_design_stats
+        from repro.core.estimate import decode_with_estimated_k
+        from repro.core.signal import exact_recovery
+
+        rng = np.random.default_rng(4)
+        sigma = PrevalencePopulation(0.008).sample_signal(1000, rng)
+        if sigma.sum() == 0:  # pragma: no cover - seed-dependent guard
+            pytest.skip("empty draw")
+        stats = stream_design_stats(sigma, 500, root_seed=5)
+        sigma_hat, est = decode_with_estimated_k(stats)
+        assert est.k_hat == int(sigma.sum())
+        assert exact_recovery(sigma, sigma_hat)

@@ -1,0 +1,83 @@
+"""Tests for exact teacher-student posterior analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core.design import PoolingDesign
+from repro.core.posterior import bayes_marginal_decode, exact_posterior
+from repro.core.signal import overlap_fraction, random_signal
+from repro.core.thresholds import m_information_parallel
+
+
+def _instance(n, k, m, seed):
+    rng = np.random.default_rng(seed)
+    sigma = random_signal(n, k, rng)
+    design = PoolingDesign.sample(n, m, rng)
+    return design, sigma, design.query_results(sigma)
+
+
+class TestExactPosterior:
+    def test_marginals_sum_to_k(self):
+        design, sigma, y = _instance(18, 3, 4, 0)
+        post = exact_posterior(design, y, 3)
+        assert post.marginals.sum() == pytest.approx(3.0)
+
+    def test_marginals_in_unit_interval(self):
+        design, sigma, y = _instance(18, 3, 4, 1)
+        post = exact_posterior(design, y, 3)
+        assert (post.marginals >= 0).all() and (post.marginals <= 1).all()
+
+    def test_unique_posterior_is_ground_truth(self):
+        n, k = 22, 3
+        m = int(3 * m_information_parallel(n, k))
+        design, sigma, y = _instance(n, k, m, 2)
+        post = exact_posterior(design, y, k)
+        if post.unique:
+            assert np.array_equal((post.marginals == 1.0).astype(np.int8), sigma)
+            assert post.entropy_nats == 0.0
+
+    def test_entropy_decreases_with_queries(self):
+        rng = np.random.default_rng(3)
+        n, k = 20, 3
+        sigma = random_signal(n, k, rng)
+        few = PoolingDesign.sample(n, 2, rng)
+        many_entries = np.concatenate([few.entries, PoolingDesign.sample(n, 20, rng).entries])
+        many = PoolingDesign(n, many_entries, np.arange(23, dtype=np.int64) * few.gamma)
+        post_few = exact_posterior(few, few.query_results(sigma), k)
+        post_many = exact_posterior(many, many.query_results(sigma), k)
+        assert post_many.entropy_nats <= post_few.entropy_nats
+
+    def test_inconsistent_observation_raises(self):
+        design, _, y = _instance(18, 3, 4, 4)
+        bad = y.copy()
+        bad[:] = design.gamma + 1  # impossible count
+        with pytest.raises(RuntimeError, match="consistent"):
+            exact_posterior(design, bad, 3)
+
+
+class TestBayesDecoder:
+    def test_weight_k_output(self):
+        design, sigma, y = _instance(20, 3, 3, 5)
+        est, post = bayes_marginal_decode(design, y, 3)
+        assert est.sum() == 3
+
+    def test_optimal_overlap_dominates_mn(self):
+        # Bayes marginal decoding upper-bounds MN's overlap on average.
+        from repro.core.mn import mn_reconstruct
+
+        bayes_total, mn_total = 0.0, 0.0
+        for seed in range(12):
+            design, sigma, y = _instance(20, 3, 5, 100 + seed)
+            bayes_est, _ = bayes_marginal_decode(design, y, 3)
+            mn_est = mn_reconstruct(design, y, 3)
+            bayes_total += overlap_fraction(sigma, bayes_est)
+            mn_total += overlap_fraction(sigma, mn_est)
+        assert bayes_total >= mn_total - 1e-9
+
+    def test_recovers_when_unique(self):
+        n, k = 22, 3
+        m = int(3 * m_information_parallel(n, k))
+        design, sigma, y = _instance(n, k, m, 6)
+        est, post = bayes_marginal_decode(design, y, k)
+        if post.unique:
+            assert np.array_equal(est, sigma)

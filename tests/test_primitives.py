@@ -1,0 +1,108 @@
+"""Tests for parallel primitives (map/reduce/elementwise-sum/scan)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.pool import WorkerPool
+from repro.parallel.primitives import (
+    parallel_elementwise_sum,
+    parallel_map,
+    parallel_reduce,
+    prefix_sum,
+)
+
+
+def _double(payload, cache):
+    return payload * 2
+
+
+def _ones(payload, cache):
+    return np.full(4, payload, dtype=np.float64)
+
+
+def _bad_shape(payload, cache):
+    return np.zeros(3)
+
+
+class TestParallelMap:
+    def test_serial(self):
+        assert parallel_map(_double, [1, 2, 3]) == [2, 4, 6]
+
+    def test_with_existing_pool(self):
+        with WorkerPool(2) as pool:
+            assert parallel_map(_double, [5, 6], pool=pool) == [10, 12]
+
+    def test_with_workers_arg(self):
+        assert parallel_map(_double, list(range(10)), workers=2) == [i * 2 for i in range(10)]
+
+
+class TestParallelReduce:
+    def test_sum(self):
+        total = parallel_reduce(_double, [1, 2, 3], combine=lambda a, b: a + b)
+        assert total == 12
+
+    def test_order_left_to_right(self):
+        # String concatenation is order-sensitive.
+        concat = parallel_reduce(lambda p, c: str(p), ["a", "b", "c"], combine=lambda x, y: x + y)
+        assert concat == "abc"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            parallel_reduce(_double, [], combine=lambda a, b: a + b)
+
+
+class TestElementwiseSum:
+    def test_accumulates(self):
+        out = parallel_elementwise_sum(_ones, [1.0, 2.0, 3.0], shape=4)
+        assert np.array_equal(out, np.full(4, 6.0))
+
+    def test_parallel_equals_serial(self):
+        serial = parallel_elementwise_sum(_ones, [1.0, 2.0, 3.0, 4.0], shape=4)
+        parallel = parallel_elementwise_sum(_ones, [1.0, 2.0, 3.0, 4.0], shape=4, workers=3)
+        assert np.array_equal(serial, parallel)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shape"):
+            parallel_elementwise_sum(_bad_shape, [1], shape=4)
+
+    def test_empty_payloads_zero(self):
+        out = parallel_elementwise_sum(_ones, [], shape=4)
+        assert np.array_equal(out, np.zeros(4))
+
+
+class TestPrefixSum:
+    def test_matches_cumsum_serial(self):
+        x = np.arange(10)
+        assert np.array_equal(prefix_sum(x), np.cumsum(x))
+
+    def test_matches_cumsum_blocks(self):
+        x = np.arange(101)
+        assert np.array_equal(prefix_sum(x, workers=7), np.cumsum(x))
+
+    def test_single_element(self):
+        assert np.array_equal(prefix_sum(np.array([5]), workers=4), np.array([5]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            prefix_sum(np.zeros((2, 2)))
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            prefix_sum(np.arange(4), workers=0)
+
+    @given(
+        st.lists(st.integers(-1000, 1000), min_size=0, max_size=300),
+        st.integers(1, 16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_matches_cumsum(self, values, workers):
+        x = np.asarray(values, dtype=np.int64)
+        assert np.array_equal(prefix_sum(x, workers=workers), np.cumsum(x))
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200), st.integers(2, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_property_floats_close(self, values, workers):
+        x = np.asarray(values, dtype=np.float64)
+        assert np.allclose(prefix_sum(x, workers=workers), np.cumsum(x), rtol=1e-9, atol=1e-6)

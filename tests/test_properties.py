@@ -1,0 +1,182 @@
+"""Cross-module property-based tests (hypothesis).
+
+These encode the *model identities* of the paper as executable invariants
+over randomly generated instances — the strongest guard against silent
+drift between the design, the statistics, the decoders and the theory.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.design import PoolingDesign, stream_design_stats
+from repro.core.mn import MNDecoder, mn_reconstruct
+from repro.core.scores import mn_scores, phi_from_psi
+from repro.core.signal import overlap_fraction, random_signal
+from repro.core.thresholds import GAMMA, m_information_parallel, m_mn_threshold
+
+instances = st.integers(0, 10**6)
+
+
+def _draw_instance(seed, n_max=150, m_max=60):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(8, n_max))
+    k = int(rng.integers(1, max(2, n // 4)))
+    m = int(rng.integers(1, m_max))
+    sigma = random_signal(n, k, rng)
+    design = PoolingDesign.sample(n, m, rng)
+    return design, sigma, k
+
+
+class TestModelIdentities:
+    @given(instances)
+    @settings(max_examples=40, deadline=None)
+    def test_y_bounded_by_pool_mass(self, seed):
+        """0 ≤ y_j ≤ Γ always (a pool can at most be all ones)."""
+        design, sigma, _ = _draw_instance(seed)
+        y = design.query_results(sigma)
+        assert (y >= 0).all()
+        assert (y <= design.gamma).all()
+
+    @given(instances)
+    @settings(max_examples=40, deadline=None)
+    def test_psi_bounded_by_dstar_gamma(self, seed):
+        """Ψ_i sums Δ*_i results each ≤ Γ."""
+        design, sigma, _ = _draw_instance(seed)
+        stats = design.stats(sigma)
+        assert (stats.psi <= stats.dstar * design.gamma).all()
+        assert (stats.psi >= 0).all()
+
+    @given(instances)
+    @settings(max_examples=40, deadline=None)
+    def test_mass_conservation(self, seed):
+        """Σ_j y_j = Σ_{i: σ_i=1} Δ_i — every occurrence counted once."""
+        design, sigma, _ = _draw_instance(seed)
+        stats = design.stats(sigma)
+        assert int(stats.y.sum()) == int((sigma.astype(np.int64) * stats.delta).sum())
+
+    @given(instances)
+    @settings(max_examples=40, deadline=None)
+    def test_phi_strips_own_contribution(self, seed):
+        """Φ = Ψ − 1{σ=1}·Δ exactly (definition in §II)."""
+        design, sigma, _ = _draw_instance(seed)
+        stats = design.stats(sigma)
+        phi = phi_from_psi(stats, sigma)
+        assert (phi <= stats.psi).all()
+        recovered = phi + sigma.astype(np.int64) * stats.delta
+        assert np.array_equal(recovered, stats.psi)
+
+    @given(instances)
+    @settings(max_examples=30, deadline=None)
+    def test_streaming_equals_materialised_distribution_free_invariants(self, seed):
+        """Streaming stats satisfy the same structural identities."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(8, 120))
+        k = int(rng.integers(1, max(2, n // 4)))
+        m = int(rng.integers(1, 50))
+        sigma = random_signal(n, k, rng)
+        stats = stream_design_stats(sigma, m, root_seed=seed % 2**31)
+        assert (stats.dstar <= stats.delta).all()
+        assert (stats.dstar <= m).all()
+        assert int(stats.delta.sum()) == m * stats.gamma
+
+
+class TestDecoderProperties:
+    @given(instances)
+    @settings(max_examples=30, deadline=None)
+    def test_estimate_weight_is_k(self, seed):
+        """The MN output always has exactly k ones, success or not."""
+        design, sigma, k = _draw_instance(seed)
+        est = mn_reconstruct(design, design.query_results(sigma), k)
+        assert int(est.sum()) == k
+
+    @given(instances)
+    @settings(max_examples=30, deadline=None)
+    def test_decode_deterministic(self, seed):
+        design, sigma, k = _draw_instance(seed)
+        y = design.query_results(sigma)
+        a = mn_reconstruct(design, y, k)
+        b = mn_reconstruct(design, y, k)
+        assert np.array_equal(a, b)
+
+    @given(instances, st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_blocks_invariance(self, seed, blocks):
+        """The parallel top-k decomposition never changes the estimate."""
+        design, sigma, k = _draw_instance(seed)
+        y = design.query_results(sigma)
+        assert np.array_equal(
+            mn_reconstruct(design, y, k, blocks=1),
+            mn_reconstruct(design, y, k, blocks=blocks),
+        )
+
+    @given(instances)
+    @settings(max_examples=20, deadline=None)
+    def test_scores_shift_invariance_in_k(self, seed):
+        """Scores for different k differ by a Δ*-proportional shift only."""
+        design, sigma, k = _draw_instance(seed)
+        stats = design.stats(sigma)
+        s1 = mn_scores(stats, 1)
+        s2 = mn_scores(stats, 3)
+        assert np.allclose(s1 - s2, stats.dstar * 1.0)  # (3-1)/2 = 1
+
+    @given(instances)
+    @settings(max_examples=15, deadline=None)
+    def test_duplicate_queries_do_not_break_decoding(self, seed):
+        """Appending an exact copy of every query preserves the estimate."""
+        design, sigma, k = _draw_instance(seed, n_max=80, m_max=25)
+        doubled = PoolingDesign(
+            design.n,
+            np.concatenate([design.entries, design.entries]),
+            np.concatenate([design.indptr, design.indptr[1:] + design.entries.size]),
+        )
+        est1 = mn_reconstruct(design, design.query_results(sigma), k)
+        est2 = mn_reconstruct(doubled, doubled.query_results(sigma), k)
+        assert np.array_equal(est1, est2)
+
+
+class TestTheoryConsistency:
+    @given(st.integers(50, 10**5), st.floats(0.1, 0.7))
+    @settings(max_examples=50, deadline=None)
+    def test_threshold_hierarchy(self, n, theta):
+        """counting ≤ IT-parallel < MN for every admissible configuration."""
+        from repro.core.signal import theta_to_k
+        from repro.core.thresholds import m_counting_exact
+
+        k = theta_to_k(n, theta)
+        if k < 2 or k >= n:
+            return
+        assert m_counting_exact(n, k) <= m_information_parallel(n, k) * 1.01
+        assert m_information_parallel(n, k) < m_mn_threshold(n, theta, k=k) * 5
+
+    @given(st.floats(0.05, 0.9), st.floats(0.05, 0.9))
+    @settings(max_examples=60, deadline=None)
+    def test_mn_constant_monotone(self, a, b):
+        from repro.core.thresholds import mn_constant
+
+        lo, hi = min(a, b), max(a, b)
+        assert mn_constant(lo) <= mn_constant(hi) + 1e-12
+
+    def test_gamma_matches_inclusion_probability(self):
+        """γ = 1 − e^{−1/2} is the limit of P[entry in a pool] for Γ = n/2."""
+        for n in (10**3, 10**5, 10**7):
+            p = 1.0 - (1.0 - 1.0 / n) ** (n // 2)
+            assert abs(p - GAMMA) < 2.0 / math.sqrt(n) + 1e-3
+
+    @given(instances)
+    @settings(max_examples=15, deadline=None)
+    def test_overlap_monotone_in_information(self, seed):
+        """More queries never (statistically) hurt: check on averages."""
+        rng = np.random.default_rng(seed)
+        n, k = 200, 4
+        sigma = random_signal(n, k, rng)
+        few = stream_design_stats(sigma, 10, root_seed=seed % 2**31, trial_key=(0,))
+        many = stream_design_stats(sigma, 300, root_seed=seed % 2**31, trial_key=(1,))
+        dec = MNDecoder()
+        ov_few = overlap_fraction(sigma, dec.decode(few, k))
+        ov_many = overlap_fraction(sigma, dec.decode(many, k))
+        # Not a per-instance theorem; allow slack but catch inversions.
+        assert ov_many >= ov_few - 0.5

@@ -1,0 +1,82 @@
+"""Tests for the one-call reconstruction facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.reconstruction import reconstruct
+from repro.core.signal import random_signal
+
+
+def _oracle_for(sigma):
+    def oracle(pools):
+        return [int(sigma[p].sum()) for p in pools]
+
+    return oracle
+
+
+class TestReconstruct:
+    def test_with_known_k(self):
+        rng = np.random.default_rng(0)
+        sigma = random_signal(600, 4, rng)
+        report = reconstruct(600, 400, _oracle_for(sigma), k=4, rng=np.random.default_rng(1))
+        assert np.array_equal(report.sigma_hat, sigma)
+        assert not report.calibrated
+
+    def test_with_calibration_query(self):
+        rng = np.random.default_rng(2)
+        sigma = random_signal(600, 4, rng)
+        report = reconstruct(600, 400, _oracle_for(sigma), rng=np.random.default_rng(3))
+        assert report.calibrated
+        assert report.k == 4
+        assert np.array_equal(report.sigma_hat, sigma)
+
+    def test_oracle_receives_one_batch(self):
+        rng = np.random.default_rng(4)
+        sigma = random_signal(100, 2, rng)
+        calls = []
+
+        def counting_oracle(pools):
+            calls.append(len(pools))
+            return [int(sigma[p].sum()) for p in pools]
+
+        reconstruct(100, 30, counting_oracle, k=2, rng=np.random.default_rng(5))
+        assert calls == [30]  # all queries in a single parallel batch
+
+    def test_calibration_adds_exactly_one_query(self):
+        rng = np.random.default_rng(6)
+        sigma = random_signal(100, 2, rng)
+        calls = []
+
+        def counting_oracle(pools):
+            calls.append(len(pools))
+            return [int(sigma[p].sum()) for p in pools]
+
+        reconstruct(100, 30, counting_oracle, rng=np.random.default_rng(7))
+        assert calls == [31]
+
+    def test_rejects_wrong_result_count(self):
+        with pytest.raises(ValueError, match="results"):
+            reconstruct(50, 10, lambda pools: [0] * (len(pools) - 1), k=2)
+
+    def test_rejects_negative_results(self):
+        with pytest.raises(ValueError, match="negative"):
+            reconstruct(50, 10, lambda pools: [-1] * len(pools), k=2)
+
+    def test_rejects_zero_weight_calibration(self):
+        sigma = np.zeros(50, dtype=np.int8)
+        with pytest.raises(ValueError, match="no one-entries"):
+            reconstruct(50, 10, _oracle_for(sigma))
+
+    def test_rejects_impossible_calibration(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            reconstruct(50, 10, lambda pools: [60] * len(pools))
+
+    def test_report_supports_redecoding(self):
+        rng = np.random.default_rng(8)
+        sigma = random_signal(300, 3, rng)
+        report = reconstruct(300, 250, _oracle_for(sigma), k=3, rng=np.random.default_rng(9))
+        # The returned design and y reproduce the estimate.
+        from repro.core.mn import mn_reconstruct
+
+        again = mn_reconstruct(report.design, report.y, report.k)
+        assert np.array_equal(again, report.sigma_hat)

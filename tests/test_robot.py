@@ -1,0 +1,78 @@
+"""Tests for the simulated lab front end."""
+
+import numpy as np
+import pytest
+
+from repro.core.design import PoolingDesign
+from repro.core.signal import random_signal
+from repro.machine.latency import DeterministicLatency, LognormalLatency
+from repro.machine.robot import SimulatedLab
+
+
+@pytest.fixture
+def instance():
+    rng = np.random.default_rng(0)
+    n, k, m = 400, 5, 300
+    sigma = random_signal(n, k, rng)
+    design = PoolingDesign.sample(n, m, rng)
+    return design, sigma, k
+
+
+class TestSimulatedLab:
+    def test_fully_parallel_makespan_is_one_query(self, instance):
+        design, sigma, k = instance
+        lab = SimulatedLab(units=design.m, latency=DeterministicLatency(3.0))
+        report = lab.run(design, sigma, k, np.random.default_rng(1))
+        assert report.query_makespan == pytest.approx(3.0)
+
+    def test_l_units_rounds_makespan(self, instance):
+        design, sigma, k = instance
+        lab = SimulatedLab(units=100, latency=DeterministicLatency(1.0), policy="rounds")
+        report = lab.run(design, sigma, k, np.random.default_rng(1))
+        assert report.query_makespan == pytest.approx(3.0)  # ceil(300/100) rounds
+        assert report.schedule.rounds == 3
+
+    def test_reconstruction_correct_above_threshold(self, instance):
+        design, sigma, k = instance
+        lab = SimulatedLab(units=design.m)
+        report = lab.run(design, sigma, k, np.random.default_rng(2))
+        assert np.array_equal(report.sigma_hat, sigma)
+
+    def test_results_independent_of_machine(self, instance):
+        design, sigma, k = instance
+        fast = SimulatedLab(units=design.m, latency=DeterministicLatency(0.001))
+        slow = SimulatedLab(units=2, latency=LognormalLatency(5.0, 0.5))
+        ra = fast.run(design, sigma, k, np.random.default_rng(3))
+        rb = slow.run(design, sigma, k, np.random.default_rng(4))
+        assert np.array_equal(ra.y, rb.y)
+        assert np.array_equal(ra.sigma_hat, rb.sigma_hat)
+
+    def test_decode_false_skips_decoding(self, instance):
+        design, sigma, k = instance
+        lab = SimulatedLab(units=10)
+        report = lab.run(design, sigma, k, np.random.default_rng(5), decode=False)
+        assert report.sigma_hat.sum() == 0
+
+    def test_total_time_composition(self, instance):
+        design, sigma, k = instance
+        lab = SimulatedLab(units=design.m, latency=DeterministicLatency(2.0))
+        report = lab.run(design, sigma, k, np.random.default_rng(6))
+        assert report.total_time == pytest.approx(report.query_makespan + report.decode_seconds)
+
+    def test_rejects_bad_policy(self):
+        with pytest.raises(ValueError):
+            SimulatedLab(units=2, policy="bogus")
+
+    def test_rejects_zero_units(self):
+        with pytest.raises(ValueError):
+            SimulatedLab(units=0)
+
+    def test_more_units_never_slower(self, instance):
+        design, sigma, k = instance
+        small = SimulatedLab(units=10, latency=DeterministicLatency(1.0)).run(
+            design, sigma, k, np.random.default_rng(7), decode=False
+        )
+        big = SimulatedLab(units=150, latency=DeterministicLatency(1.0)).run(
+            design, sigma, k, np.random.default_rng(7), decode=False
+        )
+        assert big.query_makespan <= small.query_makespan

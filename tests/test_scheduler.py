@@ -1,0 +1,116 @@
+"""Tests for query scheduling and makespan accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.scheduler import Schedule, makespan_fully_parallel, schedule_queries
+
+durations_strategy = st.lists(st.floats(0.01, 100.0), min_size=1, max_size=200).map(
+    lambda v: np.asarray(v, dtype=np.float64)
+)
+
+
+class TestFullyParallel:
+    def test_makespan_is_max(self):
+        s = makespan_fully_parallel(np.array([1.0, 5.0, 2.0]))
+        assert s.makespan == 5.0
+        assert s.rounds == 1
+
+    def test_each_query_own_unit(self):
+        s = makespan_fully_parallel(np.array([1.0, 1.0, 1.0]))
+        assert s.units == 3
+
+    def test_empty(self):
+        s = makespan_fully_parallel(np.array([]))
+        assert s.makespan == 0.0
+        assert s.rounds == 0
+
+    def test_rejects_nonpositive_durations(self):
+        with pytest.raises(ValueError):
+            makespan_fully_parallel(np.array([1.0, 0.0]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            makespan_fully_parallel(np.zeros((2, 2)))
+
+
+class TestScheduleQueries:
+    def test_enough_units_degenerates_to_parallel(self):
+        d = np.array([1.0, 2.0, 3.0])
+        s = schedule_queries(d, units=5)
+        assert s.makespan == 3.0
+
+    def test_rounds_policy_round_count(self):
+        d = np.ones(10)
+        s = schedule_queries(d, units=4, policy="rounds")
+        assert s.rounds == 3  # ceil(10/4)
+        assert s.makespan == pytest.approx(3.0)
+
+    def test_rounds_policy_waits_for_slowest(self):
+        d = np.array([1.0, 9.0, 1.0, 1.0])
+        s = schedule_queries(d, units=2, policy="rounds")
+        # Round 1: queries 0,1 (finish at 9); round 2: queries 2,3.
+        assert s.makespan == pytest.approx(10.0)
+
+    def test_lpt_beats_or_ties_rounds(self):
+        rng = np.random.default_rng(0)
+        d = rng.uniform(0.5, 3.0, 50)
+        lpt = schedule_queries(d, units=5, policy="lpt")
+        rounds = schedule_queries(d, units=5, policy="rounds")
+        assert lpt.makespan <= rounds.makespan + 1e-9
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            schedule_queries(np.ones(3), units=2, policy="magic")
+
+    def test_rejects_zero_units(self):
+        with pytest.raises(ValueError):
+            schedule_queries(np.ones(3), units=0)
+
+    def test_empty_durations(self):
+        s = schedule_queries(np.array([]), units=3)
+        assert s.makespan == 0.0
+
+    @given(durations_strategy, st.integers(1, 20), st.sampled_from(["lpt", "rounds"]))
+    @settings(max_examples=60, deadline=None)
+    def test_property_makespan_bounds(self, durations, units, policy):
+        s = schedule_queries(durations, units=units, policy=policy)
+        # Lower bounds: longest job; total work / units.
+        assert s.makespan >= durations.max() - 1e-9
+        assert s.makespan >= durations.sum() / units - 1e-9
+        # Upper bound: serial execution.
+        assert s.makespan <= durations.sum() + 1e-9
+
+    @given(durations_strategy, st.integers(1, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_property_lpt_no_unit_overlap(self, durations, units):
+        s = schedule_queries(durations, units=units, policy="lpt")
+        for u in np.unique(s.unit_of):
+            mask = s.unit_of == u
+            starts = s.start[mask]
+            finishes = s.finish[mask]
+            order = np.argsort(starts)
+            for a, b in zip(order, order[1:]):
+                assert starts[b] >= finishes[a] - 1e-9
+
+    @given(durations_strategy, st.integers(1, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_property_finish_minus_start_is_duration(self, durations, units):
+        s = schedule_queries(durations, units=units, policy="lpt")
+        assert np.allclose(s.finish - s.start, durations)
+
+
+class TestUtilization:
+    def test_perfect_packing(self):
+        s = schedule_queries(np.ones(8), units=4, policy="rounds")
+        assert s.utilization(4) == pytest.approx(1.0)
+
+    def test_idle_units_reduce_utilization(self):
+        s = schedule_queries(np.array([4.0, 1.0]), units=2, policy="lpt")
+        assert s.utilization(2) == pytest.approx(5.0 / 8.0)
+
+    def test_zero_makespan(self):
+        s = Schedule(np.empty(0, np.int64), np.empty(0), np.empty(0), 0.0)
+        assert s.utilization(3) == 1.0

@@ -1,0 +1,92 @@
+"""Tests for the adaptive binary-splitting sequential baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.sequential import (
+    adaptive_binary_splitting,
+    expected_query_cost,
+    oracle_from_signal,
+)
+from repro.core.signal import random_signal
+
+
+class TestCorrectness:
+    def test_always_exact(self):
+        for seed in range(10):
+            rng = np.random.default_rng(seed)
+            n = int(rng.integers(1, 300))
+            k = int(rng.integers(0, n + 1))
+            sigma = np.zeros(n, dtype=np.int8)
+            if k:
+                sigma[rng.choice(n, k, replace=False)] = 1
+            result = adaptive_binary_splitting(n, oracle_from_signal(sigma))
+            assert np.array_equal(result.sigma_hat, sigma)
+
+    def test_all_zero_one_query(self):
+        sigma = np.zeros(64, dtype=np.int8)
+        result = adaptive_binary_splitting(64, oracle_from_signal(sigma))
+        assert result.queries_used == 1
+        assert result.rounds == 1
+
+    def test_all_one_one_query(self):
+        sigma = np.ones(64, dtype=np.int8)
+        result = adaptive_binary_splitting(64, oracle_from_signal(sigma))
+        assert result.queries_used == 1
+        assert (result.sigma_hat == 1).all()
+
+    def test_single_entry(self):
+        sigma = np.array([1], dtype=np.int8)
+        result = adaptive_binary_splitting(1, oracle_from_signal(sigma))
+        assert result.sigma_hat.tolist() == [1]
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            adaptive_binary_splitting(0, oracle_from_signal(np.array([], dtype=np.int8)))
+
+    @given(st.integers(0, 10**6))
+    @settings(max_examples=40, deadline=None)
+    def test_property_exact_recovery(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 400))
+        k = int(rng.integers(0, min(n, 12) + 1))
+        sigma = np.zeros(n, dtype=np.int8)
+        if k:
+            sigma[rng.choice(n, k, replace=False)] = 1
+        result = adaptive_binary_splitting(n, oracle_from_signal(sigma))
+        assert np.array_equal(result.sigma_hat, sigma)
+
+
+class TestCost:
+    def test_query_cost_scales_with_k(self):
+        n = 1024
+        costs = []
+        for k in (1, 4, 16):
+            rng = np.random.default_rng(k)
+            sigma = random_signal(n, k, rng)
+            costs.append(adaptive_binary_splitting(n, oracle_from_signal(sigma)).queries_used)
+        assert costs[0] < costs[1] < costs[2]
+
+    def test_within_crude_upper_bound(self):
+        n, k = 2048, 8
+        sigma = random_signal(n, k, np.random.default_rng(0))
+        result = adaptive_binary_splitting(n, oracle_from_signal(sigma))
+        assert result.queries_used <= 2.2 * expected_query_cost(n, k)
+
+    def test_rounds_logarithmic(self):
+        n, k = 4096, 4
+        sigma = random_signal(n, k, np.random.default_rng(1))
+        result = adaptive_binary_splitting(n, oracle_from_signal(sigma))
+        assert result.rounds <= 14  # 1 + log2(4096) + slack
+
+    def test_expected_cost_validation(self):
+        with pytest.raises(ValueError):
+            expected_query_cost(10, 11)
+
+    def test_far_fewer_queries_than_individual_testing(self):
+        n, k = 4096, 4
+        sigma = random_signal(n, k, np.random.default_rng(2))
+        result = adaptive_binary_splitting(n, oracle_from_signal(sigma))
+        assert result.queries_used < n / 10

@@ -1,0 +1,89 @@
+"""Tests for design persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.design import PoolingDesign
+from repro.core.mn import mn_reconstruct
+from repro.core.serialization import FORMAT_VERSION, load_design, save_design
+from repro.core.signal import random_signal
+
+
+@pytest.fixture
+def instance():
+    rng = np.random.default_rng(0)
+    n, k, m = 200, 4, 150
+    sigma = random_signal(n, k, rng)
+    design = PoolingDesign.sample(n, m, rng)
+    return design, sigma, design.query_results(sigma)
+
+
+class TestRoundtrip:
+    def test_design_only(self, tmp_path, instance):
+        design, _, _ = instance
+        path = save_design(tmp_path / "run1", design)
+        assert path.suffix == ".npz"
+        loaded, y = load_design(path)
+        assert y is None
+        assert loaded.n == design.n
+        assert np.array_equal(loaded.entries, design.entries)
+        assert np.array_equal(loaded.indptr, design.indptr)
+
+    def test_design_with_results(self, tmp_path, instance):
+        design, sigma, y = instance
+        path = save_design(tmp_path / "run2.npz", design, y=y)
+        loaded, y2 = load_design(path)
+        assert np.array_equal(y, y2)
+        # Re-decoding from the audit file reproduces the estimate.
+        assert np.array_equal(
+            mn_reconstruct(loaded, y2, 4),
+            mn_reconstruct(design, y, 4),
+        )
+
+    def test_ragged_design_roundtrip(self, tmp_path):
+        design = PoolingDesign.from_pools(10, [[0, 1], [2, 3, 4], [5]])
+        path = save_design(tmp_path / "ragged", design)
+        loaded, _ = load_design(path)
+        assert loaded.m == 3
+        assert np.array_equal(loaded.pool(1), np.array([2, 3, 4]))
+
+
+class TestValidation:
+    def test_wrong_y_length_rejected_on_save(self, tmp_path, instance):
+        design, _, y = instance
+        with pytest.raises(ValueError, match="length m"):
+            save_design(tmp_path / "bad", design, y=y[:-1])
+
+    def test_not_a_design_file(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(ValueError, match="not a pooled-repro design file"):
+            load_design(path)
+
+    def test_wrong_version_rejected(self, tmp_path, instance):
+        design, _, _ = instance
+        path = tmp_path / "v999.npz"
+        np.savez(
+            path,
+            format_version=np.asarray(FORMAT_VERSION + 1),
+            n=np.asarray(design.n),
+            entries=design.entries,
+            indptr=design.indptr,
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_design(path)
+
+    def test_corrupted_structure_rejected(self, tmp_path, instance):
+        design, _, _ = instance
+        path = tmp_path / "corrupt.npz"
+        bad_indptr = design.indptr.copy()
+        bad_indptr[-1] += 5  # points past the entries array
+        np.savez(
+            path,
+            format_version=np.asarray(FORMAT_VERSION),
+            n=np.asarray(design.n),
+            entries=design.entries,
+            indptr=bad_indptr,
+        )
+        with pytest.raises(ValueError):
+            load_design(path)

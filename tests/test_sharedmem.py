@@ -1,0 +1,104 @@
+"""Tests for shared-memory arrays (repro.parallel.sharedmem)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.sharedmem import SharedArray
+
+
+class TestLifecycle:
+    def test_create_fill_destroy(self):
+        arr = SharedArray.create(16, dtype=np.int64, fill=7)
+        assert (arr.array == 7).all()
+        arr.destroy()
+
+    def test_from_array_copies(self):
+        src = np.arange(10, dtype=np.float64)
+        arr = SharedArray.from_array(src)
+        try:
+            assert np.array_equal(arr.array, src)
+            src[0] = 99.0
+            assert arr.array[0] == 0.0  # decoupled from source
+        finally:
+            arr.destroy()
+
+    def test_attach_sees_writes(self):
+        owner = SharedArray.create((4, 3), dtype=np.int32)
+        try:
+            owner.array[...] = 5
+            other = SharedArray.attach(owner.descriptor)
+            assert (other.array == 5).all()
+            other.array[0, 0] = -1
+            assert owner.array[0, 0] == -1
+            other.close()
+        finally:
+            owner.destroy()
+
+    def test_double_close_raises(self):
+        arr = SharedArray.create(4)
+        arr.close()
+        with pytest.raises(RuntimeError, match="closed twice"):
+            arr.close()
+        arr.unlink()
+
+    def test_use_after_close_raises(self):
+        arr = SharedArray.create(4)
+        arr.close()
+        with pytest.raises(RuntimeError, match="after close"):
+            _ = arr.array
+        with pytest.raises(RuntimeError):
+            _ = arr.descriptor
+        arr.unlink()
+
+    def test_non_owner_cannot_unlink(self):
+        owner = SharedArray.create(4)
+        try:
+            other = SharedArray.attach(owner.descriptor)
+            with pytest.raises(RuntimeError, match="owning process"):
+                other.unlink()
+            other.close()
+        finally:
+            owner.destroy()
+
+    def test_context_manager_owner(self):
+        with SharedArray.create(8, fill=1.0) as arr:
+            desc = arr.descriptor
+        # Segment gone after the with-block.
+        with pytest.raises(FileNotFoundError):
+            SharedArray.attach(desc)
+
+    def test_rejects_negative_shape(self):
+        with pytest.raises(ValueError):
+            SharedArray.create((-1, 4))
+
+    def test_zero_length_array(self):
+        arr = SharedArray.create(0)
+        try:
+            assert arr.array.size == 0
+        finally:
+            arr.destroy()
+
+
+class TestDescriptor:
+    def test_descriptor_roundtrip_dtype_shape(self):
+        arr = SharedArray.create((2, 5), dtype=np.uint16)
+        try:
+            d = arr.descriptor
+            att = SharedArray.attach(d)
+            assert att.array.shape == (2, 5)
+            assert att.array.dtype == np.uint16
+            assert not att.owner
+            att.close()
+        finally:
+            arr.destroy()
+
+    def test_descriptor_picklable(self):
+        import pickle
+
+        arr = SharedArray.create(3)
+        try:
+            d2 = pickle.loads(pickle.dumps(arr.descriptor))
+            att = SharedArray.attach(d2)
+            att.close()
+        finally:
+            arr.destroy()

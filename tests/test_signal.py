@@ -1,0 +1,119 @@
+"""Tests for signals and metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.signal import (
+    exact_recovery,
+    hamming_distance,
+    k_to_theta,
+    overlap_fraction,
+    random_signal,
+    support,
+    theta_to_k,
+)
+
+
+class TestThetaK:
+    def test_paper_example(self):
+        # §I-D: n = 10^4, θ = 0.3 describes ~16 positives.
+        assert theta_to_k(10_000, 0.3) == 16
+
+    def test_rounding(self):
+        assert theta_to_k(1000, 0.3) == 8  # 1000^0.3 ≈ 7.94
+
+    def test_clamped_to_one(self):
+        assert theta_to_k(2, 0.1) >= 1
+
+    def test_k_to_theta_inverse(self):
+        n = 10_000
+        for theta in (0.2, 0.3, 0.5):
+            k = theta_to_k(n, theta)
+            assert k_to_theta(n, k) == pytest.approx(theta, abs=0.02)
+
+    def test_k_to_theta_rejects_k_above_n(self):
+        with pytest.raises(ValueError):
+            k_to_theta(10, 11)
+
+    @given(st.integers(2, 10**6), st.floats(0.05, 0.95))
+    @settings(max_examples=100, deadline=None)
+    def test_property_k_in_range(self, n, theta):
+        k = theta_to_k(n, theta)
+        assert 1 <= k <= n
+
+
+class TestRandomSignal:
+    def test_weight(self):
+        sigma = random_signal(100, 7, np.random.default_rng(0))
+        assert sigma.sum() == 7
+        assert sigma.dtype == np.int8
+
+    def test_uniform_support(self):
+        # Each coordinate should be one with probability k/n.
+        hits = np.zeros(50)
+        for seed in range(400):
+            hits += random_signal(50, 5, np.random.default_rng(seed))
+        freq = hits / 400
+        assert abs(freq.mean() - 0.1) < 0.01
+        assert freq.max() < 0.25
+
+    def test_k_equals_n(self):
+        sigma = random_signal(5, 5, np.random.default_rng(0))
+        assert sigma.sum() == 5
+
+    def test_rejects_k_above_n(self):
+        with pytest.raises(ValueError):
+            random_signal(5, 6, np.random.default_rng(0))
+
+    def test_reproducible(self):
+        a = random_signal(100, 4, np.random.default_rng(9))
+        b = random_signal(100, 4, np.random.default_rng(9))
+        assert np.array_equal(a, b)
+
+
+class TestMetrics:
+    def test_overlap_full(self):
+        sigma = np.array([1, 0, 1, 0], dtype=np.int8)
+        assert overlap_fraction(sigma, sigma) == 1.0
+
+    def test_overlap_partial(self):
+        sigma = np.array([1, 1, 0, 0], dtype=np.int8)
+        est = np.array([1, 0, 1, 0], dtype=np.int8)
+        assert overlap_fraction(sigma, est) == 0.5
+
+    def test_overlap_extra_ones_not_rewarded(self):
+        sigma = np.array([1, 0, 0, 0], dtype=np.int8)
+        est = np.ones(4, dtype=np.int8)
+        assert overlap_fraction(sigma, est) == 1.0
+
+    def test_overlap_requires_ones(self):
+        with pytest.raises(ValueError):
+            overlap_fraction(np.zeros(4, dtype=np.int8), np.zeros(4, dtype=np.int8))
+
+    def test_exact_recovery(self):
+        sigma = np.array([1, 0], dtype=np.int8)
+        assert exact_recovery(sigma, sigma.copy())
+        assert not exact_recovery(sigma, np.array([0, 1], dtype=np.int8))
+
+    def test_hamming(self):
+        assert hamming_distance(np.array([1, 0, 1]), np.array([0, 0, 1])) == 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            overlap_fraction(np.array([1, 0]), np.array([1, 0, 0]))
+
+    def test_support(self):
+        assert support(np.array([0, 1, 0, 1])).tolist() == [1, 3]
+
+    @given(st.integers(1, 60), st.integers(0, 10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_property_overlap_exact_consistency(self, n, seed):
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(1, n + 1))
+        sigma = random_signal(n, k, rng)
+        est = random_signal(n, k, rng)
+        ov = overlap_fraction(sigma, est)
+        assert 0.0 <= ov <= 1.0
+        assert exact_recovery(sigma, est) == (ov == 1.0)  # same weight ⇒ equivalent

@@ -1,0 +1,82 @@
+"""Unit tests for repro.util.stats."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import mean_and_ci, summarize_bool, summarize_float, wilson_interval
+
+
+class TestMeanAndCI:
+    def test_singleton_zero_width(self):
+        s = mean_and_ci([3.5])
+        assert s.mean == s.lo == s.hi == 3.5
+        assert s.n == 1
+
+    def test_constant_sample(self):
+        s = mean_and_ci([2.0] * 10)
+        assert s.mean == 2.0
+        assert s.hi - s.lo == pytest.approx(0.0)
+
+    def test_contains_mean(self):
+        s = mean_and_ci([1.0, 2.0, 3.0, 4.0])
+        assert s.lo <= s.mean <= s.hi
+        assert s.mean == pytest.approx(2.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mean_and_ci([])
+
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=50))
+    def test_interval_brackets_mean(self, values):
+        s = mean_and_ci(values)
+        assert s.lo <= s.mean <= s.hi
+
+
+class TestWilson:
+    def test_extremes_stay_in_unit_interval(self):
+        s0 = wilson_interval(0, 20)
+        s1 = wilson_interval(20, 20)
+        assert s0.lo >= 0.0 and s0.mean == 0.0
+        assert s1.hi <= 1.0 and s1.mean == 1.0
+
+    def test_half(self):
+        s = wilson_interval(10, 20)
+        assert s.mean == pytest.approx(0.5)
+        assert s.lo < 0.5 < s.hi
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(6, 5)
+
+    @given(st.integers(0, 50), st.integers(1, 50))
+    def test_always_bracketed(self, successes, extra):
+        trials = successes + extra
+        s = wilson_interval(successes, trials)
+        assert 0.0 <= s.lo <= s.mean <= s.hi <= 1.0 or (s.lo <= s.hi)
+        assert 0.0 <= s.lo <= s.hi <= 1.0
+
+
+class TestSummaries:
+    def test_summarize_bool(self):
+        s = summarize_bool([True, True, False, False])
+        assert s.mean == pytest.approx(0.5)
+        assert s.n == 4
+
+    def test_summarize_bool_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize_bool([])
+
+    def test_summarize_float_mirrors_mean_ci(self):
+        vals = [0.1, 0.9, 0.5]
+        assert summarize_float(vals).mean == mean_and_ci(vals).mean
+
+    def test_str_contains_sample_size(self):
+        assert "n=3" in str(summarize_float([1.0, 2.0, 3.0]))
+
+    def test_numpy_bool_input(self):
+        s = summarize_bool(np.array([True, False]))
+        assert s.n == 2

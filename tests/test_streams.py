@@ -1,0 +1,80 @@
+"""Tests for deterministic substreams (repro.rng.streams)."""
+
+import numpy as np
+import pytest
+
+from repro.rng.streams import StreamFamily, batch_generator
+
+
+class TestBatchGenerator:
+    def test_same_key_same_stream(self):
+        a = batch_generator(42, 1, 2).integers(0, 1000, 50)
+        b = batch_generator(42, 1, 2).integers(0, 1000, 50)
+        assert np.array_equal(a, b)
+
+    def test_different_index_different_stream(self):
+        a = batch_generator(42, 1, 2).integers(0, 1000, 50)
+        b = batch_generator(42, 1, 3).integers(0, 1000, 50)
+        assert not np.array_equal(a, b)
+
+    def test_different_root_different_stream(self):
+        a = batch_generator(42, 0).integers(0, 1000, 50)
+        b = batch_generator(43, 0).integers(0, 1000, 50)
+        assert not np.array_equal(a, b)
+
+    def test_rejects_negative_indices(self):
+        with pytest.raises(ValueError):
+            batch_generator(1, -1)
+
+
+class TestStreamFamily:
+    def test_pcg_default(self):
+        fam = StreamFamily(7)
+        a = fam.generator(0).random(10)
+        b = fam.generator(0).random(10)
+        assert np.array_equal(a, b)
+
+    def test_mt_engine(self):
+        fam = StreamFamily(7, engine="mt19937_64")
+        a = fam.generator(3).integers(0, 100, 20)
+        b = fam.generator(3).integers(0, 100, 20)
+        assert np.array_equal(a, b)
+
+    def test_engines_differ(self):
+        pcg = StreamFamily(7, engine="pcg64").generator(1).integers(0, 10**6, 32)
+        mt = StreamFamily(7, engine="mt19937_64").generator(1).integers(0, 10**6, 32)
+        assert not np.array_equal(pcg, mt)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            StreamFamily(7, engine="xorshift")
+
+    def test_raw_mt_reproducible(self):
+        fam = StreamFamily(11)
+        a = fam.raw_mt(2, 5).random_raw(16)
+        b = fam.raw_mt(2, 5).random_raw(16)
+        assert np.array_equal(a, b)
+
+    def test_raw_mt_keyed(self):
+        fam = StreamFamily(11)
+        a = fam.raw_mt(2, 5).random_raw(16)
+        b = fam.raw_mt(2, 6).random_raw(16)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_range_independent(self):
+        fam = StreamFamily(3)
+        streams = list(fam.spawn_range(4, 9))
+        draws = [g.integers(0, 10**9, 8) for g in streams]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not np.array_equal(draws[i], draws[j])
+
+    def test_spawn_range_matches_generator(self):
+        fam = StreamFamily(3)
+        spawned = list(fam.spawn_range(2, 9))[1].integers(0, 100, 10)
+        direct = fam.generator(9, 1).integers(0, 100, 10)
+        assert np.array_equal(spawned, direct)
+
+    def test_rejects_negative_root(self):
+        with pytest.raises(ValueError):
+            StreamFamily(-1)
