@@ -5,15 +5,27 @@ figure/table/claim of the paper (see DESIGN.md's experiment index), prints
 the measured rows, and asserts the paper's qualitative *shape* (who wins,
 where the transition sits, what dominates what).  Run with::
 
-    pytest benchmarks/ --benchmark-only
+    pytest benchmarks/bench_<name>.py --benchmark-only
 
 Scale: defaults are laptop-scale (minutes, not the paper's CPU-days); every
 driver accepts paper-scale parameters through its Python API.
+
+Perf trajectory: at session end every ``bench_<name>.py`` that ran emits a
+machine-readable ``benchmarks/results/BENCH_<name>.json`` (per test: the
+median wall time, params from ``benchmark.extra_info``, and the
+measurement context — python/workers/seed — it was recorded under) so
+that speedups and regressions are tracked across PRs.  Tests attach
+structured fields with ``benchmark.extra_info["key"] = value``.
 """
 
+import json
 import os
+import platform
+from pathlib import Path
 
 import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
 def _worker_count() -> int:
@@ -62,3 +74,71 @@ def check(benchmark):
         return fn
 
     return runner
+
+
+_DESELECTED_MODULES: set = set()
+
+
+def pytest_deselected(items):
+    """Track modules with filtered-out tests (-k/-m) for the JSON emitter."""
+    for item in items:
+        _DESELECTED_MODULES.add(Path(str(item.fspath)).stem)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Emit ``BENCH_<name>.json`` per benchmark module that ran.
+
+    ``<name>`` is the module stem without the ``bench_`` prefix, so
+    ``bench_kernels.py`` writes ``benchmarks/results/BENCH_kernels.json``.
+    Each record carries the median wall time (seconds), rounds, and the
+    test's ``extra_info`` (params, backend, derived metrics like speedups).
+    """
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    by_module: "dict[str, list]" = {}
+    for bench in bench_session.benchmarks:
+        if bench.has_error or not bench.stats:
+            continue
+        module = Path(bench.fullname.split("::", 1)[0]).stem
+        by_module.setdefault(module, []).append(
+            {
+                "test": bench.fullname.split("::", 1)[-1],
+                "group": bench.group,
+                "median_s": bench.stats.median,
+                "mean_s": bench.stats.mean,
+                "rounds": bench.stats.rounds,
+                "params": bench.params,
+                **({"extra": dict(bench.extra_info)} if bench.extra_info else {}),
+            }
+        )
+    if not by_module:
+        return
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    context = {
+        "python": platform.python_version(),
+        "workers_available": _worker_count(),
+        "seed": int(os.environ.get("POOLED_REPRO_SEED", "2022")),
+    }
+    for module, results in by_module.items():
+        # A complete, clean run of the module is authoritative: replace the
+        # file so records for renamed/deleted tests don't linger.  A
+        # filtered (-k/-m) or aborted (-x) run merges by test id instead,
+        # refreshing only what it measured.  The measurement context
+        # travels per record, so retained rows keep the environment they
+        # were actually measured under.
+        name = module[len("bench_"):] if module.startswith("bench_") else module
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        # Nodeid selection (file.py::Test) never fires pytest_deselected,
+        # so inspect the invocation args too.
+        nodeid_scoped = any("::" in str(a) for a in session.config.invocation_params.args)
+        partial = nodeid_scoped or module in _DESELECTED_MODULES or exitstatus != 0
+        merged: "dict[str, dict]" = {}
+        if partial and path.exists():
+            try:
+                merged = {r["test"]: r for r in json.loads(path.read_text()).get("results", [])}
+            except (ValueError, KeyError, TypeError):
+                merged = {}
+        merged.update({r["test"]: {**r, "context": context} for r in results})
+        payload = {"bench": name, "results": sorted(merged.values(), key=lambda r: r["test"])}
+        path.write_text(json.dumps(payload, indent=2, default=str) + "\n")

@@ -18,9 +18,33 @@ Quickstart
 >>> bool(np.array_equal(report.sigma_hat, sigma))
 True
 
+Batched reconstruction (the engine layer)
+-----------------------------------------
+One pooling design is signal-independent, so a whole batch of signals can
+share it — :func:`reconstruct_batch` decodes ``B`` signals in one
+vectorised pass, per-signal bit-identical to ``B`` independent
+``reconstruct`` calls with matched seeds:
+
+>>> from repro import reconstruct_batch, signals_oracle
+>>> sigmas = np.zeros((4, 1000), dtype=np.int8)
+>>> for b in range(4): sigmas[b, [b, 100 + b, 500 + b]] = 1
+>>> batch = reconstruct_batch(1000, 200, signals_oracle(sigmas), 4,
+...                           rng=np.random.default_rng(0))
+>>> bool(np.array_equal(batch.sigma_hat, sigmas))
+True
+
+Batch-axis conventions: per-signal arrays (``sigma``, ``y``, ``psi``)
+optionally grow a leading ``B`` axis; design-level arrays (``dstar``,
+``delta``) never do.  Execution (process count, decomposition width,
+streaming batch size) is configured once via a ``Backend``
+(:class:`SerialBackend` or the fork+shared-memory
+:class:`SharedMemBackend`) and threaded through every entry point as
+``backend=``.
+
 Package map
 -----------
 ``repro.core``        model, MN decoder, thresholds, exhaustive decoder
+``repro.engine``      execution backends + batched multi-signal engine
 ``repro.rng``         MT19937-64 (paper parity) + deterministic substreams
 ``repro.parallel``    shared-memory worker pool, sort/matvec primitives
 ``repro.machine``     simulated lab: latency models, L-unit scheduling
@@ -56,15 +80,25 @@ from repro.core import (
     mn_scores,
     overlap_fraction,
     random_signal,
+    random_signals,
     reconstruct,
     run_mn_trial,
     stream_design_stats,
     theta_to_k,
 )
+from repro.engine import (
+    Backend,
+    BatchReconstructionReport,
+    SerialBackend,
+    SharedMemBackend,
+    reconstruct_batch,
+    run_trial_grid,
+    signals_oracle,
+)
 from repro.machine import SimulatedLab
 from repro.parallel import WorkerPool
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "GAMMA",
@@ -81,6 +115,14 @@ __all__ = [
     "save_design",
     "SimulatedLab",
     "WorkerPool",
+    "Backend",
+    "SerialBackend",
+    "SharedMemBackend",
+    "BatchReconstructionReport",
+    "reconstruct_batch",
+    "run_trial_grid",
+    "signals_oracle",
+    "random_signals",
     "exact_recovery",
     "exhaustive_decode",
     "finite_size_factor",

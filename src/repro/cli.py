@@ -58,6 +58,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trials", type=int, default=20)
         p.add_argument("--workers", type=int, default=0)
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--engine",
+            choices=("trial", "batched"),
+            default="trial",
+            help="per-trial loop (classic statistics) or batched grid (one design per point, trials vectorised)",
+        )
 
     pc = sub.add_parser("claims", help="§VI in-text claim table")
     pc.add_argument("--trials", type=int, default=50)
@@ -127,6 +133,7 @@ def _cmd_fig34(args, which: str) -> int:
         workers=args.workers,
         csv_name=csv_name,
         plot=True,
+        engine=args.engine,
     )
     if which == "fig3":
         gp = emit_fig34_script(csv_name, metric="success", thetas=tuple(args.thetas))

@@ -18,6 +18,7 @@ from repro.core.signal import (
     theta_to_k,
     k_to_theta,
     random_signal,
+    random_signals,
     overlap_fraction,
     exact_recovery,
     hamming_distance,
@@ -49,6 +50,7 @@ __all__ = [
     "theta_to_k",
     "k_to_theta",
     "random_signal",
+    "random_signals",
     "overlap_fraction",
     "exact_recovery",
     "hamming_distance",

@@ -13,16 +13,38 @@ Two execution paths are provided:
   biadjacency matrix (exhaustive/LP/OMP/AMP) and by the Fig. 1 example.
 * :func:`stream_design_stats` — computes everything the MN decoder needs
   (``y, Ψ, Δ, Δ*``) in fixed-size query batches without ever holding the
-  graph, optionally fanned out over a :class:`~repro.parallel.pool.WorkerPool`.
-  Batches are keyed by logical batch index, so for a fixed batch size the
-  result is bit-identical for any worker count — the library's central
+  graph, optionally fanned out over a :class:`~repro.parallel.pool.WorkerPool`
+  or any :class:`~repro.engine.backend.Backend`.  Batches are keyed by
+  logical batch index, so for a fixed batch size the result is
+  bit-identical for any worker count — the library's central
   reproducibility invariant.
+
+Batch-axis conventions (the :mod:`repro.engine` layer)
+------------------------------------------------------
+
+One sampled design is a *first-stage* structure reusable across many
+*second-stage* signals.  Everything per-signal therefore optionally grows a
+leading batch axis ``B`` while everything design-only stays 1-D:
+
+========  ==============  ====================
+quantity  single-signal    batched (``B`` signals)
+========  ==============  ====================
+``σ``     ``(n,)``        ``(B, n)``
+``y``     ``(m,)``        ``(B, m)``
+``Ψ``     ``(n,)``        ``(B, n)``
+``Δ, Δ*`` ``(n,)``        ``(n,)`` (shared)
+========  ==============  ====================
+
+:meth:`PoolingDesign.query_results`, :meth:`PoolingDesign.psi`,
+:meth:`PoolingDesign.stats` and :class:`DesignStats` all accept either
+form; the single-signal form is exactly the ``B=1`` slice of the batched
+one, bit for bit.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -31,7 +53,10 @@ from repro.parallel.partition import chunk_count
 from repro.parallel.pool import WorkerPool
 from repro.parallel.sharedmem import SharedArray, SharedArrayDescriptor
 from repro.rng.streams import StreamFamily
-from repro.util.validation import check_binary_signal, check_positive_int
+from repro.util.validation import check_binary_batch, check_binary_signal, check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine builds on core)
+    from repro.engine.backend import Backend
 
 __all__ = ["PoolingDesign", "DesignStats", "stream_design_stats", "default_gamma"]
 
@@ -51,15 +76,21 @@ class DesignStats:
     Attributes
     ----------
     y:
-        Query results (length ``m``), multiplicities counted.
+        Query results, multiplicities counted: ``(m,)`` for one signal or
+        ``(B, m)`` for a batch of ``B`` signals sharing the design.
     psi:
-        ``Ψ_i`` — sum of results over *distinct* queries containing ``i``.
+        ``Ψ_i`` — sum of results over *distinct* queries containing ``i``;
+        ``(n,)`` or ``(B, n)`` matching ``y``.
     dstar:
-        ``Δ*_i`` — number of distinct queries containing ``i``.
+        ``Δ*_i`` — number of distinct queries containing ``i``.  Always
+        ``(n,)``: a property of the design, shared across the batch.
     delta:
-        ``Δ_i`` — number of query slots occupied by ``i`` (with multiplicity).
+        ``Δ_i`` — number of query slots occupied by ``i`` (with
+        multiplicity).  Always ``(n,)``.
     n, m, gamma:
-        Model parameters.
+        Model parameters.  ``gamma`` is the integer ``Γ`` for regular
+        designs and the exact mean pool size ``entries.size / m`` (a
+        float) for ragged hand-built ones.
     """
 
     y: np.ndarray
@@ -68,14 +99,46 @@ class DesignStats:
     delta: np.ndarray
     n: int
     m: int
-    gamma: int
+    gamma: "int | float"
 
     def __post_init__(self) -> None:
-        if self.y.shape != (self.m,):
-            raise ValueError("y must have length m")
-        for name in ("psi", "dstar", "delta"):
+        if self.y.ndim == 2:
+            b = self.y.shape[0]
+            if b < 1:
+                raise ValueError("batched y must hold at least one signal")
+            if self.y.shape != (b, self.m):
+                raise ValueError("batched y must have shape (B, m)")
+            if self.psi.shape != (b, self.n):
+                raise ValueError("batched psi must have shape (B, n)")
+        else:
+            if self.y.shape != (self.m,):
+                raise ValueError("y must have length m")
+            if self.psi.shape != (self.n,):
+                raise ValueError("psi must have length n")
+        for name in ("dstar", "delta"):
             if getattr(self, name).shape != (self.n,):
                 raise ValueError(f"{name} must have length n")
+
+    @property
+    def batch(self) -> "int | None":
+        """Batch size ``B``, or ``None`` for single-signal stats."""
+        return int(self.y.shape[0]) if self.y.ndim == 2 else None
+
+    def signal(self, b: int) -> "DesignStats":
+        """The single-signal view of batch member ``b``."""
+        if self.batch is None:
+            raise ValueError("stats are not batched")
+        if not (0 <= b < self.batch):
+            raise IndexError(f"batch index {b} out of range for B={self.batch}")
+        return DesignStats(
+            y=self.y[b],
+            psi=self.psi[b],
+            dstar=self.dstar,
+            delta=self.delta,
+            n=self.n,
+            m=self.m,
+            gamma=self.gamma,
+        )
 
 
 def _batch_stats_kernel(edges: np.ndarray, sigma: np.ndarray, n: int):
@@ -124,6 +187,7 @@ class PoolingDesign:
             raise ValueError("indptr inconsistent with entries")
         if self.entries.size and (self.entries.min() < 0 or self.entries.max() >= n):
             raise ValueError("entry index out of range")
+        self._distinct_cache: "tuple[np.ndarray, np.ndarray] | None" = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -185,6 +249,21 @@ class PoolingDesign:
             raise ValueError("design is ragged; per-query sizes differ")
         return g
 
+    @property
+    def mean_pool_size(self) -> "int | float":
+        """Exact mean pool size ``entries.size / m`` — defined for ragged designs too.
+
+        Equals :attr:`gamma` exactly for regular designs (an ``int``); the
+        canonical per-design scale for statistics (``DesignStats.gamma``)
+        that must not depend on an arbitrary single pool.  Kept exact (not
+        floored) because consumers like ``estimate_k`` scale by ``n / Γ``,
+        where flooring would bias the estimate upward on ragged designs.
+        """
+        if not self.m:
+            return 0
+        mean = self.entries.size / self.m
+        return int(mean) if mean.is_integer() else mean
+
     def pool(self, j: int) -> np.ndarray:
         """The multiset of entries in query ``j`` (with multiplicity)."""
         if not (0 <= j < self.m):
@@ -194,8 +273,22 @@ class PoolingDesign:
     # -- queries ------------------------------------------------------------------
 
     def query_results(self, sigma: np.ndarray) -> np.ndarray:
-        """Additive results ``y``; multiplicities counted (paper §II)."""
-        sigma = check_binary_signal(sigma, length=self.n)
+        """Additive results ``y``; multiplicities counted (paper §II).
+
+        ``sigma`` may be one signal ``(n,)`` (returns ``(m,)``) or a batch
+        ``(B, n)`` sharing this design (returns ``(B, m)``); row ``b`` of
+        the batched result is bit-identical to the single-signal call on
+        ``sigma[b]``.  The batch validates once; the gather kernel runs
+        per row to keep peak memory at ``O(nnz)`` instead of ``O(nnz·B)``.
+        """
+        sigma = np.asarray(sigma)
+        if sigma.ndim == 2:
+            batch = check_binary_batch(sigma, length=self.n)
+            return np.stack([self._query_results_kernel(batch[b]) for b in range(batch.shape[0])])
+        return self._query_results_kernel(check_binary_signal(sigma, length=self.n))
+
+    def _query_results_kernel(self, sigma: np.ndarray) -> np.ndarray:
+        """Segment-sum of one validated ``int8`` signal over the pools."""
         hits = sigma[self.entries].astype(np.int64)
         out = np.zeros(self.m, dtype=np.int64)
         lens = np.diff(self.indptr)
@@ -218,31 +311,74 @@ class PoolingDesign:
 
     # -- neighbourhood statistics ------------------------------------------------------
 
+    def _distinct_pairs(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Deduplicated ``(query, entry)`` incidence pairs, cached.
+
+        Pairs come out in ``(query, entry)``-ascending order.  Shared by
+        :meth:`dstar` and :meth:`psi` — and reused across every signal of a
+        batch, which is where the batched engine's first-stage amortisation
+        comes from.
+
+        Regular designs dedup with a per-pool sort (``m`` small sorts of
+        ``Γ``), which is several times faster than the ragged fallback's
+        global sort over all ``m·Γ`` linearised pairs; both yield the same
+        pair sequence.
+        """
+        if self._distinct_cache is None:
+            sizes = np.diff(self.indptr)
+            if sizes.size and np.all(sizes == sizes[0]) and sizes[0] > 0:
+                pools_sorted = np.sort(self.entries.reshape(self.m, int(sizes[0])), axis=1)
+                first = np.empty(pools_sorted.shape, dtype=bool)
+                first[:, 0] = True
+                first[:, 1:] = pools_sorted[:, 1:] != pools_sorted[:, :-1]
+                self._distinct_cache = (np.nonzero(first)[0].astype(np.int64), pools_sorted[first])
+            else:
+                rows = np.repeat(np.arange(self.m, dtype=np.int64), sizes)
+                distinct = np.unique(rows * self.n + self.entries)
+                self._distinct_cache = (distinct // self.n, distinct % self.n)
+        return self._distinct_cache
+
     def delta(self) -> np.ndarray:
         """``Δ_i``: number of occupied query slots per entry (multiplicity)."""
         return np.bincount(self.entries, minlength=self.n).astype(np.int64)
 
     def dstar(self) -> np.ndarray:
         """``Δ*_i``: number of *distinct* queries containing each entry."""
-        rows = np.repeat(np.arange(self.m, dtype=np.int64), np.diff(self.indptr))
-        pair = rows * self.n + self.entries
-        distinct = np.unique(pair)
-        return np.bincount((distinct % self.n).astype(np.int64), minlength=self.n).astype(np.int64)
+        _, dent = self._distinct_pairs()
+        return np.bincount(dent, minlength=self.n).astype(np.int64)
 
     def psi(self, y: np.ndarray) -> np.ndarray:
-        """``Ψ_i = Σ_{j ∈ ∂*x_i} y_j`` — distinct queries counted once."""
+        """``Ψ_i = Σ_{j ∈ ∂*x_i} y_j`` — distinct queries counted once.
+
+        ``y`` may be ``(m,)`` (returns ``(n,)``) or a batch ``(B, m)``
+        (returns ``(B, n)``); the design's deduplicated incidence pairs are
+        computed once and reused for every row.
+        """
         y = np.asarray(y, dtype=np.int64)
+        drow, dent = self._distinct_pairs()
+        if y.ndim == 2:
+            if y.shape[1] != self.m or y.shape[0] < 1:
+                raise ValueError(f"batched y must have shape (B, m={self.m})")
+            # Pairs are grouped by query, so the per-signal weight vector is
+            # a repeat (sequential write) instead of a 3M-way gather.
+            pairs_per_query = np.bincount(drow, minlength=self.m)
+            out = np.empty((y.shape[0], self.n), dtype=np.int64)
+            for b in range(y.shape[0]):
+                weights = np.repeat(y[b].astype(np.float64), pairs_per_query)
+                out[b] = np.bincount(dent, weights=weights, minlength=self.n).astype(np.int64)
+            return out
         if y.shape != (self.m,):
             raise ValueError(f"y must have length m={self.m}")
-        rows = np.repeat(np.arange(self.m, dtype=np.int64), np.diff(self.indptr))
-        pair = rows * self.n + self.entries
-        distinct = np.unique(pair)
-        drow = distinct // self.n
-        dent = distinct % self.n
         return np.bincount(dent, weights=y[drow].astype(np.float64), minlength=self.n).astype(np.int64)
 
     def stats(self, sigma: np.ndarray) -> DesignStats:
-        """All MN inputs computed from the materialised design."""
+        """All MN inputs computed from the materialised design.
+
+        ``sigma`` may be one signal ``(n,)`` or a batch ``(B, n)``; the
+        batched form evaluates all ``B`` signals against this one design
+        (``y``/``psi`` gain a leading batch axis, ``dstar``/``delta`` stay
+        shared).
+        """
         y = self.query_results(sigma)
         return DesignStats(
             y=y,
@@ -251,7 +387,7 @@ class PoolingDesign:
             delta=self.delta(),
             n=self.n,
             m=self.m,
-            gamma=int(np.diff(self.indptr)[0]) if self.m else 0,
+            gamma=self.mean_pool_size,
         )
 
 
@@ -280,17 +416,19 @@ def stream_design_stats(
     root_seed: int,
     trial_key: "tuple[int, ...]" = (),
     gamma: Optional[int] = None,
-    batch_queries: int = 256,
+    batch_queries: Optional[int] = None,
     pool: "WorkerPool | None" = None,
     workers: int = 1,
+    backend: "Backend | None" = None,
 ) -> DesignStats:
     """Simulate ``m`` parallel queries and accumulate MN statistics.
 
     The design is *not* materialised: each fixed-size batch of queries is
     generated from a generator keyed by ``(root_seed, *trial_key, batch)``,
-    evaluated, folded into ``Ψ/Δ*/Δ`` and discarded.  Passing a pool (or
-    ``workers > 1``) distributes batches; output is bit-identical to the
-    serial path because accumulation happens in batch order in the parent.
+    evaluated, folded into ``Ψ/Δ*/Δ`` and discarded.  Passing a backend
+    with ``workers > 1`` (or the legacy ``pool=``/``workers=`` knobs)
+    distributes batches; output is bit-identical to the serial path because
+    accumulation happens in batch order in the parent.
 
     Parameters
     ----------
@@ -303,34 +441,40 @@ def stream_design_stats(
     gamma:
         Pool size (default ``n // 2``).
     batch_queries:
-        Queries per batch.  Part of the *design key*: different batch sizes
-        draw different (identically distributed) designs, because streams
-        are keyed per batch.  For a fixed batch size, results never depend
-        on the worker count.
+        Queries per batch (default: the backend's, normally 256).  Part of
+        the *design key*: different batch sizes draw different (identically
+        distributed) designs, because streams are keyed per batch.  For a
+        fixed batch size, results never depend on the worker count.
     pool, workers:
-        Parallel execution (see :class:`~repro.parallel.pool.WorkerPool`).
+        Legacy execution knobs (see :class:`~repro.parallel.pool.WorkerPool`).
+    backend:
+        Unified execution configuration (see
+        :class:`~repro.engine.backend.Backend`); supersedes ``pool``/``workers``.
     """
+    from repro.engine.backend import resolved_backend
+
     sigma = check_binary_signal(sigma)
     n = sigma.shape[0]
     m = check_positive_int(m, "m")
     gamma = default_gamma(n) if gamma is None else check_positive_int(gamma, "gamma")
-    batch_queries = check_positive_int(batch_queries, "batch_queries")
 
-    batches = []
-    for b in range(chunk_count(m, batch_queries)):
-        lo = b * batch_queries
-        hi = min(m, lo + batch_queries)
-        batches.append((b, lo, hi))
+    with resolved_backend(backend, pool=pool, workers=workers) as exec_backend:
+        if batch_queries is None:
+            batch_queries = exec_backend.batch_queries
+        batch_queries = check_positive_int(batch_queries, "batch_queries")
 
-    y = np.zeros(m, dtype=np.int64)
-    psi = np.zeros(n, dtype=np.int64)
-    dstar = np.zeros(n, dtype=np.int64)
-    delta = np.zeros(n, dtype=np.int64)
+        batches = []
+        for b in range(chunk_count(m, batch_queries)):
+            lo = b * batch_queries
+            hi = min(m, lo + batch_queries)
+            batches.append((b, lo, hi))
 
-    own_pool = pool is None and workers != 1
-    pool = pool if pool is not None else (WorkerPool(workers) if workers != 1 else None)
-    try:
-        if pool is None or pool.workers == 1:
+        y = np.zeros(m, dtype=np.int64)
+        psi = np.zeros(n, dtype=np.int64)
+        dstar = np.zeros(n, dtype=np.int64)
+        delta = np.zeros(n, dtype=np.int64)
+
+        if exec_backend.workers == 1:
             family = StreamFamily(root_seed)
             for b, lo, hi in batches:
                 rng = family.generator(*trial_key, b)
@@ -345,7 +489,7 @@ def stream_design_stats(
             try:
                 desc: SharedArrayDescriptor = shared_sigma.descriptor
                 payloads = [(b, lo, hi, n, gamma, root_seed, tuple(trial_key), desc) for b, lo, hi in batches]
-                results = pool.map(_stream_task, payloads)
+                results = exec_backend.map(_stream_task, payloads)
                 for lo, yb, psib, dstarb, deltab in results:
                     y[lo : lo + yb.size] = yb
                     psi += psib
@@ -353,8 +497,5 @@ def stream_design_stats(
                     delta += deltab
             finally:
                 shared_sigma.destroy()
-    finally:
-        if own_pool and pool is not None:
-            pool.shutdown()
 
     return DesignStats(y=y, psi=psi, dstar=dstar, delta=delta, n=n, m=m, gamma=gamma)

@@ -97,6 +97,8 @@ def diagnose_scores(stats: DesignStats, sigma: np.ndarray, k: "int | None" = Non
     k:
         Decoding weight; defaults to the true weight.
     """
+    if stats.batch is not None:
+        raise ValueError("diagnose_scores needs single-signal stats; diagnose per signal via stats.signal(b)")
     sigma = check_binary_signal(sigma, length=stats.n)
     true_k = int(sigma.sum())
     if true_k == 0 or true_k == stats.n:

@@ -56,8 +56,12 @@ def estimate_k(stats: DesignStats) -> KEstimate:
     Raises
     ------
     ValueError
-        On an empty observation vector.
+        On an empty observation vector, or on batched stats (one pooled
+        ``k̂`` across signals of different weights would be silently
+        wrong — estimate per signal via ``stats.signal(b)``).
     """
+    if stats.batch is not None:
+        raise ValueError("estimate_k needs single-signal stats; estimate per signal via stats.signal(b)")
     if stats.m < 1 or stats.gamma < 1:
         raise ValueError("need at least one non-empty query")
     scale = stats.n / stats.gamma

@@ -20,7 +20,7 @@ asymptotically (the paper's accounting).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -29,9 +29,30 @@ from repro.core.scores import mn_scores
 from repro.core.signal import exact_recovery, overlap_fraction, random_signal, theta_to_k
 from repro.parallel.pool import WorkerPool
 from repro.parallel.sort import parallel_top_k
-from repro.util.validation import check_positive_int
+from repro.rng.streams import batch_generator
+from repro.util.validation import check_positive_int, check_weight_vector
 
-__all__ = ["MNDecoder", "mn_reconstruct", "run_mn_trial", "MNTrialResult"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine builds on core)
+    from repro.engine.backend import Backend
+
+__all__ = [
+    "MNDecoder",
+    "mn_reconstruct",
+    "run_mn_trial",
+    "MNTrialResult",
+    "SIGNAL_STREAM_TAG",
+    "POINT_TRIAL_STRIDE",
+]
+
+#: Spawn-key tag for per-trial ground-truth signal streams.  Every engine
+#: (the classic per-trial runner and the batched grid) keys signal draws by
+#: ``(root_seed, SIGNAL_STREAM_TAG, trial)`` so they see identical σ's.
+SIGNAL_STREAM_TAG = 997
+
+#: Stride separating per-point trial ids in sweep grids: trial id =
+#: ``point_id * POINT_TRIAL_STRIDE + t``, so two points of one sweep never
+#: share signal streams.
+POINT_TRIAL_STRIDE = 1_000_003
 
 
 @dataclass(frozen=True)
@@ -44,26 +65,65 @@ class MNDecoder:
         Logical processor count for the parallel top-k selection (Lines
         7–9).  Any value yields identical output; it controls decomposition
         only.
+    backend:
+        Optional :class:`~repro.engine.backend.Backend`; when given, its
+        ``blocks`` supersedes the explicit ``blocks`` field so one object
+        configures the whole pipeline.
     """
 
     blocks: int = 1
+    backend: "Backend | None" = None
 
     def __post_init__(self) -> None:
         check_positive_int(self.blocks, "blocks")
 
-    def decode(self, stats: DesignStats, k: int) -> np.ndarray:
+    @property
+    def effective_blocks(self) -> int:
+        """Decomposition width actually used (backend wins over ``blocks``)."""
+        return self.backend.blocks if self.backend is not None else self.blocks
+
+    def decode(self, stats: DesignStats, k: "int | np.ndarray") -> np.ndarray:
         """Estimate ``σ̂`` from accumulated query statistics.
 
         Ties in the score are broken towards smaller indices —
         deterministic, so repeated decodes agree bit-for-bit.
+
+        Batch-aware: batched stats decode every signal of the batch in one
+        vectorised pass and return a ``(B, n)`` estimate matrix; ``k`` may
+        then be a length-``B`` array of per-signal weights.  Row ``b``
+        always equals the single-signal decode of ``stats.signal(b)``.
         """
-        k = check_positive_int(k, "k")
+        if stats.batch is not None and np.ndim(k) != 0:
+            return self._decode_ragged_k(stats, k)
+        # One shared scalar-k path: mn_scores and parallel_top_k are both
+        # batch-aware, so single-signal and batched decodes only differ in
+        # the final scatter.
+        k = check_positive_int(k[()] if isinstance(k, np.ndarray) else k, "k")
         if k > stats.n:
             raise ValueError(f"k={k} exceeds n={stats.n}")
         scores = mn_scores(stats, k)
-        top = parallel_top_k(scores, k, blocks=self.blocks)
-        sigma_hat = np.zeros(stats.n, dtype=np.int8)
-        sigma_hat[top] = 1
+        top = parallel_top_k(scores, k, blocks=self.effective_blocks)
+        if stats.batch is None:
+            sigma_hat = np.zeros(stats.n, dtype=np.int8)
+            sigma_hat[top] = 1
+        else:
+            sigma_hat = np.zeros((stats.batch, stats.n), dtype=np.int8)
+            np.put_along_axis(sigma_hat, top, 1, axis=1)
+        return sigma_hat
+
+    def _decode_ragged_k(self, stats: DesignStats, k: np.ndarray) -> np.ndarray:
+        """Vectorised decode of ``B`` signals with per-signal weights."""
+        batch = stats.batch
+        k_arr = check_weight_vector(k, batch, n=stats.n)
+        scores = mn_scores(stats, k_arr)
+        # Full stable ranking (ties to smaller indices), then a per-row
+        # prefix mask — selection would not vectorise over ragged k.
+        order = np.argsort(-scores, axis=1, kind="stable")
+        kmax = int(k_arr.max())
+        take = np.arange(kmax)[None, :] < k_arr[:, None]
+        rows = np.nonzero(take)[0]
+        sigma_hat = np.zeros((batch, stats.n), dtype=np.int8)
+        sigma_hat[rows, order[:, :kmax][take]] = 1
         return sigma_hat
 
     def rank_entries(self, stats: DesignStats, k: int) -> np.ndarray:
@@ -82,14 +142,22 @@ class MNDecoder:
         """
         from repro.parallel.sort import parallel_argsort
 
+        if stats.batch is not None:
+            raise ValueError("rank_entries needs single-signal stats; rank per signal via stats.signal(b)")
         k = check_positive_int(k, "k")
         if k > stats.n:
             raise ValueError(f"k={k} exceeds n={stats.n}")
         scores = mn_scores(stats, k)
-        return parallel_argsort(scores, blocks=self.blocks, descending=True)
+        return parallel_argsort(scores, blocks=self.effective_blocks, descending=True)
 
 
-def mn_reconstruct(design: PoolingDesign, y: np.ndarray, k: int, blocks: int = 1) -> np.ndarray:
+def mn_reconstruct(
+    design: PoolingDesign,
+    y: np.ndarray,
+    k: "int | np.ndarray",
+    blocks: int = 1,
+    backend: "Backend | None" = None,
+) -> np.ndarray:
     """One-call MN decoding against a materialised design.
 
     Parameters
@@ -97,14 +165,22 @@ def mn_reconstruct(design: PoolingDesign, y: np.ndarray, k: int, blocks: int = 1
     design:
         The pooling design that produced ``y``.
     y:
-        Observed additive query results.
+        Observed additive query results — ``(m,)`` for one signal, or
+        ``(B, m)`` for a batch of signals queried through the same design
+        (decoded in one vectorised pass, returning ``(B, n)``).
     k:
-        Signal weight (exact or calibrated).
+        Signal weight (exact or calibrated); with batched ``y`` optionally
+        a length-``B`` array of per-signal weights.
     blocks:
         Parallel top-k decomposition width.
+    backend:
+        Optional unified execution configuration; supersedes ``blocks``.
     """
     y = np.asarray(y, dtype=np.int64)
-    if y.shape != (design.m,):
+    if y.ndim == 2:
+        if y.shape[1] != design.m or y.shape[0] < 1:
+            raise ValueError(f"batched y must have shape (B, m={design.m})")
+    elif y.shape != (design.m,):
         raise ValueError(f"y must have length m={design.m}")
     stats = DesignStats(
         y=y,
@@ -113,9 +189,11 @@ def mn_reconstruct(design: PoolingDesign, y: np.ndarray, k: int, blocks: int = 1
         delta=design.delta(),
         n=design.n,
         m=design.m,
-        gamma=int(np.diff(design.indptr)[0]) if design.m else 0,
+        # Mean pool size: correct for ragged hand-built designs too (the
+        # first pool's size is arbitrary there).
+        gamma=design.mean_pool_size,
     )
-    return MNDecoder(blocks=blocks).decode(stats, k)
+    return MNDecoder(blocks=blocks, backend=backend).decode(stats, k)
 
 
 @dataclass(frozen=True)
@@ -143,9 +221,10 @@ def run_mn_trial(
     root_seed: int = 0,
     trial: int = 0,
     calibrate_k: bool = False,
-    batch_queries: int = 256,
+    batch_queries: "int | None" = None,
     pool: "WorkerPool | None" = None,
     workers: int = 1,
+    backend: "Backend | None" = None,
 ) -> MNTrialResult:
     """Simulate one full teacher–student round and decode with MN.
 
@@ -155,6 +234,11 @@ def run_mn_trial(
     weight obtained from the paper's one extra all-entries query (which, by
     construction, always returns ``k``) instead of the model parameter —
     operationally identical, but it documents the k-free mode.
+
+    Execution is configured either through the legacy ``pool``/``workers``
+    knobs or a unified ``backend``
+    (:class:`~repro.engine.backend.Backend`); the result is bit-identical
+    for every backend at a fixed ``batch_queries``.
 
     Returns
     -------
@@ -168,8 +252,7 @@ def run_mn_trial(
         k = theta_to_k(n, float(theta))
     k = check_positive_int(k, "k")
 
-    sig_rng = np.random.Generator(np.random.PCG64(np.random.SeedSequence(entropy=root_seed, spawn_key=(997, trial))))
-    sigma = random_signal(n, k, sig_rng)
+    sigma = random_signal(n, k, batch_generator(root_seed, SIGNAL_STREAM_TAG, trial))
 
     stats = stream_design_stats(
         sigma,
@@ -179,9 +262,11 @@ def run_mn_trial(
         batch_queries=batch_queries,
         pool=pool,
         workers=workers,
+        backend=backend,
     )
     k_used = int(sigma.sum()) if calibrate_k else k
-    sigma_hat = MNDecoder(blocks=max(1, workers)).decode(stats, k_used)
+    decoder_blocks = backend.blocks if backend is not None else max(1, workers)
+    sigma_hat = MNDecoder(blocks=decoder_blocks).decode(stats, k_used)
     return MNTrialResult(
         n=n,
         k=k,

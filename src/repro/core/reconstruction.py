@@ -12,13 +12,16 @@ query to learn ``k``, and runs the MN decoder.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
 
 from repro.core.design import PoolingDesign
 from repro.core.mn import mn_reconstruct
 from repro.util.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine builds on core)
+    from repro.engine.backend import Backend
 
 __all__ = ["reconstruct", "ReconstructionReport"]
 
@@ -61,6 +64,7 @@ def reconstruct(
     rng: Optional[np.random.Generator] = None,
     gamma: Optional[int] = None,
     blocks: int = 1,
+    backend: "Backend | None" = None,
 ) -> ReconstructionReport:
     """Recover a k-sparse binary signal through an additive query oracle.
 
@@ -85,6 +89,11 @@ def reconstruct(
         Pool size override (default ``n // 2``).
     blocks:
         Parallel decomposition width for the decoder's top-k step.
+    backend:
+        Optional :class:`~repro.engine.backend.Backend`; supersedes
+        ``blocks``.  For reconstructing many signals against one shared
+        design in a single call, see
+        :func:`~repro.engine.batch.reconstruct_batch`.
 
     Returns
     -------
@@ -124,5 +133,5 @@ def reconstruct(
         k = check_positive_int(k, "k")
         y = y_all
 
-    sigma_hat = mn_reconstruct(design, y, k, blocks=blocks)
+    sigma_hat = mn_reconstruct(design, y, k, blocks=blocks, backend=backend)
     return ReconstructionReport(sigma_hat=sigma_hat, k=k, design=design, y=y, calibrated=calibrated)

@@ -14,6 +14,7 @@ import math
 import numpy as np
 
 from repro.util.validation import (
+    check_binary_batch,
     check_binary_signal,
     check_in_open_unit_interval,
     check_positive_int,
@@ -23,6 +24,7 @@ __all__ = [
     "theta_to_k",
     "k_to_theta",
     "random_signal",
+    "random_signals",
     "overlap_fraction",
     "exact_recovery",
     "hamming_distance",
@@ -64,31 +66,76 @@ def random_signal(n: int, k: int, rng: np.random.Generator) -> np.ndarray:
     return sigma
 
 
+def random_signals(n: int, k: int, batch: int, rng: np.random.Generator) -> np.ndarray:
+    """Draw a ``(batch, n)`` stack of independent weight-``k`` signals.
+
+    Row ``b`` is exactly the ``b``-th :func:`random_signal` draw from the
+    same generator, so batched and sequential sampling agree bit-for-bit.
+    """
+    batch = check_positive_int(batch, "batch")
+    sigmas = np.empty((batch, check_positive_int(n, "n")), dtype=np.int8)
+    for b in range(batch):
+        sigmas[b] = random_signal(n, k, rng)
+    return sigmas
+
+
 def support(sigma: np.ndarray) -> np.ndarray:
     """Sorted indices of the one-entries."""
     sigma = check_binary_signal(sigma)
     return np.flatnonzero(sigma)
 
 
-def overlap_fraction(sigma: np.ndarray, sigma_hat: np.ndarray) -> float:
+def overlap_fraction(sigma: np.ndarray, sigma_hat: np.ndarray) -> "float | np.ndarray":
     """Fraction of true one-entries present in the estimate (Fig. 4 metric).
 
-    Both vectors must have the same length; the denominator is the true
-    weight ``k`` (an estimate with extra ones is not rewarded for them).
+    The denominator is the true weight ``k`` (an estimate with extra ones
+    is not rewarded for them).
+
+    Batch-aware: with ``(B, n)`` inputs the result is a float array of
+    length ``B`` (a 1-D ground truth broadcasts against a batch of
+    estimates and vice versa); entry ``b`` equals the scalar call on row
+    ``b``.
     """
-    sigma = check_binary_signal(sigma, "sigma")
-    sigma_hat = check_binary_signal(sigma_hat, "sigma_hat", length=sigma.shape[0])
-    k = int(sigma.sum())
-    if k == 0:
-        raise ValueError("sigma must contain at least one one-entry")
-    return float(np.logical_and(sigma == 1, sigma_hat == 1).sum()) / k
+    if np.ndim(sigma) == 1 and np.ndim(sigma_hat) == 1:
+        sigma = check_binary_signal(sigma, "sigma")
+        sigma_hat = check_binary_signal(sigma_hat, "sigma_hat", length=sigma.shape[0])
+        k = int(sigma.sum())
+        if k == 0:
+            raise ValueError("sigma must contain at least one one-entry")
+        return float(np.logical_and(sigma == 1, sigma_hat == 1).sum()) / k
+    sigma, sigma_hat = _broadcast_signal_batch(sigma, sigma_hat)
+    ks = sigma.sum(axis=1, dtype=np.int64)
+    if np.any(ks == 0):
+        raise ValueError("every sigma row must contain at least one one-entry")
+    hits = np.logical_and(sigma == 1, sigma_hat == 1).sum(axis=1)
+    return hits / ks
 
 
-def exact_recovery(sigma: np.ndarray, sigma_hat: np.ndarray) -> bool:
-    """True iff the estimate equals the ground truth entry-for-entry."""
-    sigma = check_binary_signal(sigma, "sigma")
-    sigma_hat = check_binary_signal(sigma_hat, "sigma_hat", length=sigma.shape[0])
-    return bool(np.array_equal(sigma, sigma_hat))
+def exact_recovery(sigma: np.ndarray, sigma_hat: np.ndarray) -> "bool | np.ndarray":
+    """True iff the estimate equals the ground truth entry-for-entry.
+
+    Batch-aware: with ``(B, n)`` inputs the result is a boolean array of
+    length ``B``, one flag per signal.
+    """
+    if np.ndim(sigma) == 1 and np.ndim(sigma_hat) == 1:
+        sigma = check_binary_signal(sigma, "sigma")
+        sigma_hat = check_binary_signal(sigma_hat, "sigma_hat", length=sigma.shape[0])
+        return bool(np.array_equal(sigma, sigma_hat))
+    sigma, sigma_hat = _broadcast_signal_batch(sigma, sigma_hat)
+    return np.all(sigma == sigma_hat, axis=1)
+
+
+def _broadcast_signal_batch(sigma, sigma_hat) -> "tuple[np.ndarray, np.ndarray]":
+    """Validate and align a (possibly mixed 1-D/2-D) pair of signal batches."""
+    if np.ndim(sigma) == 1:
+        sigma = np.broadcast_to(np.asarray(sigma), (np.asarray(sigma_hat).shape[0], np.shape(sigma)[0]))
+    if np.ndim(sigma_hat) == 1:
+        sigma_hat = np.broadcast_to(np.asarray(sigma_hat), (np.asarray(sigma).shape[0], np.shape(sigma_hat)[0]))
+    sigma = check_binary_batch(sigma, "sigma")
+    sigma_hat = check_binary_batch(sigma_hat, "sigma_hat", length=sigma.shape[1])
+    if sigma.shape[0] != sigma_hat.shape[0]:
+        raise ValueError(f"batch sizes differ: sigma has {sigma.shape[0]} rows, sigma_hat {sigma_hat.shape[0]}")
+    return sigma, sigma_hat
 
 
 def hamming_distance(a: np.ndarray, b: np.ndarray) -> int:

@@ -1,0 +1,270 @@
+"""Execution backends — one object answering "where does the work run?".
+
+Historically every parallel entry point in the library grew its own knobs:
+``pool=`` (an externally managed :class:`~repro.parallel.pool.WorkerPool`),
+``workers=`` (spawn-my-own process count), ``blocks=`` (logical
+decomposition width for the sort/top-k kernels) and ``batch_queries=``
+(streaming batch size).  A :class:`Backend` bundles all four behind one
+protocol so that callers configure execution once and thread a single
+object through :func:`~repro.core.reconstruction.reconstruct`,
+:func:`~repro.core.mn.run_mn_trial`, :class:`~repro.core.mn.MNDecoder`,
+:func:`~repro.core.design.stream_design_stats` and the batched engine.
+
+Two implementations ship:
+
+* :class:`SerialBackend` — everything inline in the calling process.  The
+  reference for bit-reproducibility and the default.
+* :class:`SharedMemBackend` — wraps a :class:`~repro.parallel.pool.WorkerPool`
+  (owned and lazily created, or borrowed via ``pool=``), fanning tasks out
+  over fork+shared-memory workers.
+
+Invariant: for a fixed ``batch_queries`` every backend produces
+bit-identical results — ``batch_queries`` is part of the *design key* (see
+:func:`~repro.core.design.stream_design_stats`), the worker count is not.
+
+Legacy call sites keep working: :func:`resolve_backend` translates the old
+``pool=``/``workers=`` arguments into a backend, so ``backend=`` and the
+historical knobs coexist (passing both is rejected loudly).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Optional, Protocol, Sequence, runtime_checkable
+
+from repro.parallel.pool import WorkerPool, resolve_workers
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "Backend",
+    "SerialBackend",
+    "SharedMemBackend",
+    "resolve_backend",
+    "resolved_backend",
+    "DEFAULT_BATCH_QUERIES",
+]
+
+#: Default streaming batch size.  Part of the design key: changing it draws a
+#: different (identically distributed) design, so all backends share it.
+DEFAULT_BATCH_QUERIES = 256
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """What the execution layer needs to know, and nothing else.
+
+    Attributes
+    ----------
+    workers:
+        Concrete process count (``1`` means "run inline in the caller").
+    blocks:
+        Logical decomposition width handed to the sort/top-k kernels.
+        Any value yields identical output; it controls decomposition only.
+    batch_queries:
+        Streaming batch size for :func:`~repro.core.design.stream_design_stats`.
+    """
+
+    @property
+    def workers(self) -> int: ...
+
+    @property
+    def blocks(self) -> int: ...
+
+    @property
+    def batch_queries(self) -> int: ...
+
+    def map(self, fn: Callable[[Any, dict], Any], payloads: Sequence[Any]) -> "list[Any]":
+        """Run ``fn(payload, cache)`` over payloads; results in submission order."""
+        ...
+
+    def shutdown(self) -> None:
+        """Release owned resources.  Idempotent."""
+        ...
+
+
+class SerialBackend:
+    """Inline execution in the calling process.
+
+    The reference backend: no subprocesses, no shared memory, trivially
+    debuggable.  ``map`` preserves the per-worker ``cache`` contract of
+    :class:`~repro.parallel.pool.WorkerPool` with a single persistent dict.
+    """
+
+    def __init__(self, blocks: int = 1, batch_queries: int = DEFAULT_BATCH_QUERIES):
+        self._blocks = check_positive_int(blocks, "blocks")
+        self._batch_queries = check_positive_int(batch_queries, "batch_queries")
+        self._cache: dict = {}
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+    @property
+    def blocks(self) -> int:
+        return self._blocks
+
+    @property
+    def batch_queries(self) -> int:
+        return self._batch_queries
+
+    def map(self, fn: Callable[[Any, dict], Any], payloads: Sequence[Any]) -> "list[Any]":
+        return [fn(p, self._cache) for p in payloads]
+
+    def shutdown(self) -> None:
+        self._cache.clear()
+
+    def __enter__(self) -> "SerialBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SerialBackend(blocks={self._blocks}, batch_queries={self._batch_queries})"
+
+
+class SharedMemBackend:
+    """Fork + POSIX-shared-memory execution over a :class:`WorkerPool`.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None``/``0`` means all available cores.  Ignored
+        when ``pool`` is given.
+    blocks:
+        Decomposition width for sort/top-k (default: the worker count).
+    batch_queries:
+        Streaming batch size (default :data:`DEFAULT_BATCH_QUERIES`).
+    pool:
+        Borrow an externally managed pool instead of owning one.  Borrowed
+        pools are never shut down by the backend.
+
+    The owned pool is created lazily on first :meth:`map`, so constructing
+    a backend is free and a backend that only ever configures ``blocks``
+    never forks.
+    """
+
+    def __init__(
+        self,
+        workers: "int | None" = None,
+        *,
+        blocks: "int | None" = None,
+        batch_queries: int = DEFAULT_BATCH_QUERIES,
+        pool: "WorkerPool | None" = None,
+    ):
+        if pool is not None:
+            self._workers = pool.workers
+        else:
+            self._workers = resolve_workers(workers)
+        self._pool: "WorkerPool | None" = pool
+        self._owns_pool = pool is None
+        self._blocks = check_positive_int(blocks, "blocks") if blocks is not None else max(1, self._workers)
+        self._batch_queries = check_positive_int(batch_queries, "batch_queries")
+        self._closed = False
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def blocks(self) -> int:
+        return self._blocks
+
+    @property
+    def batch_queries(self) -> int:
+        return self._batch_queries
+
+    @property
+    def pool(self) -> WorkerPool:
+        """The underlying pool, created on first use when owned."""
+        if self._pool is None:
+            if self._closed:
+                raise RuntimeError("backend already shut down")
+            self._pool = WorkerPool(self._workers)
+        return self._pool
+
+    def map(self, fn: Callable[[Any, dict], Any], payloads: Sequence[Any]) -> "list[Any]":
+        return self.pool.map(fn, payloads)
+
+    def shutdown(self) -> None:
+        self._closed = True
+        if self._owns_pool and self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "SharedMemBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SharedMemBackend(workers={self._workers}, blocks={self._blocks}, "
+            f"batch_queries={self._batch_queries}, owns_pool={self._owns_pool})"
+        )
+
+
+def resolve_backend(
+    backend: "Backend | None" = None,
+    *,
+    pool: "WorkerPool | None" = None,
+    workers: "int | None" = None,
+    blocks: "int | None" = None,
+    batch_queries: "int | None" = None,
+) -> "tuple[Backend, bool]":
+    """Translate a ``backend=`` argument or the legacy knobs into a backend.
+
+    Returns ``(backend, owned)``; callers shut down owned backends after
+    use (shutting down a backend that merely borrows a user pool never
+    touches that pool).
+
+    Resolution rules, in order:
+
+    1. An explicit ``backend`` wins; combining it with ``pool=`` is an
+       error (two sources of truth for where work runs).
+    2. A legacy ``pool=`` is wrapped in a borrowing :class:`SharedMemBackend`.
+    3. ``workers=1`` — the historical default of the wrapped entry points —
+       gives a :class:`SerialBackend`.  Any other value keeps the library's
+       ``None``/``0`` = "all available cores" convention
+       (:func:`~repro.parallel.pool.resolve_workers`); if that resolves to
+       a single core the result degrades to a :class:`SerialBackend`.
+    """
+    if backend is not None:
+        if pool is not None:
+            raise ValueError("pass either backend= or the legacy pool=, not both")
+        if workers not in (None, 1):
+            raise ValueError("pass either backend= or the legacy workers=, not both")
+        return backend, False
+    bq = DEFAULT_BATCH_QUERIES if batch_queries is None else batch_queries
+    if pool is not None:
+        return SharedMemBackend(pool=pool, blocks=blocks, batch_queries=bq), True
+    resolved = 1 if workers == 1 else resolve_workers(workers)
+    if resolved == 1:
+        return SerialBackend(blocks=blocks if blocks is not None else 1, batch_queries=bq), True
+    return SharedMemBackend(resolved, blocks=blocks, batch_queries=bq), True
+
+
+@contextmanager
+def resolved_backend(
+    backend: "Backend | None" = None,
+    *,
+    pool: "WorkerPool | None" = None,
+    workers: "int | None" = None,
+    blocks: "int | None" = None,
+    batch_queries: "int | None" = None,
+) -> Iterator[Backend]:
+    """:func:`resolve_backend` as a context manager.
+
+    The single shape every wrapped entry point uses: yields the resolved
+    backend and shuts it down on exit only when this call owns it (an
+    explicit ``backend=`` is left untouched for the caller to reuse).
+    """
+    exec_backend, owned = resolve_backend(
+        backend, pool=pool, workers=workers, blocks=blocks, batch_queries=batch_queries
+    )
+    try:
+        yield exec_backend
+    finally:
+        if owned:
+            exec_backend.shutdown()

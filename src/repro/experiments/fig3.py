@@ -63,11 +63,15 @@ def run_fig3(
     workers: int = 1,
     csv_name: "str | None" = None,
     plot: bool = False,
+    engine: str = "trial",
 ) -> "list[Fig3Series]":
     """Regenerate one panel of Fig. 3 (success) — and Fig. 4's data too.
 
     The overlap projection of the same grid is what Fig. 4 plots; use
     :func:`repro.experiments.fig4.run_fig4` for that view.
+    ``engine="batched"`` switches the sweep to the batched grid runner
+    (one design per point, trials vectorised — see
+    :mod:`repro.engine.grid`).
     """
     ms = tuple(ms) if ms is not None else default_m_grid(n)
     series: "list[Fig3Series]" = []
@@ -80,6 +84,7 @@ def run_fig3(
                 trials=trials,
                 root_seed=root_seed + 104_729 * ti,
                 pool=pool,
+                engine=engine,
             )
             series.append(
                 Fig3Series(

@@ -28,6 +28,7 @@ def run_fig4(
     workers: int = 1,
     csv_name: "str | None" = None,
     plot: bool = False,
+    engine: str = "trial",
 ) -> "list[Fig3Series]":
     """Regenerate one panel of Fig. 4 (overlap view of the Fig. 3 grid)."""
     series = run_fig3(
@@ -39,6 +40,7 @@ def run_fig4(
         workers=workers,
         csv_name=None,
         plot=False,
+        engine=engine,
     )
     if csv_name:
         write_csv(

@@ -6,25 +6,38 @@ most at laptop scale — so the harness parallelises over trials and leaves
 each trial's streaming simulation serial.  Every trial's randomness is
 keyed by ``(root_seed, point_id, trial)``, so a sweep is reproducible
 regardless of worker count, sweep order, or interleaving.
+
+Two execution engines are offered by :func:`success_and_overlap_curve`:
+
+* ``engine="trial"`` (default) — the classic per-trial loop above; every
+  trial samples its own design, so confidence intervals average over both
+  design and signal randomness.
+* ``engine="batched"`` — the :mod:`repro.engine.grid` runner: one design
+  per grid point, all trials decoded against it in one vectorised pass
+  (the production-throughput mode; see that module for the statistical
+  contract).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
-from repro.core.mn import MNTrialResult, run_mn_trial
+from repro.core.mn import POINT_TRIAL_STRIDE, MNTrialResult, run_mn_trial
 from repro.parallel.pool import WorkerPool
 from repro.util.stats import SummaryStats, summarize_bool, summarize_float
 from repro.util.validation import check_nonneg_int, check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.engine.backend import Backend
 
 __all__ = ["run_trials", "success_and_overlap_curve", "CurvePoint"]
 
 
 def _trial_task(payload, cache) -> MNTrialResult:
     """Module-level worker task (picklable) running one MN trial."""
-    n, m, theta, k, root_seed, trial = payload
-    return run_mn_trial(n, m, theta=theta, k=k, root_seed=root_seed, trial=trial)
+    n, m, theta, k, root_seed, trial, batch_queries = payload
+    return run_mn_trial(n, m, theta=theta, k=k, root_seed=root_seed, trial=trial, batch_queries=batch_queries)
 
 
 def run_trials(
@@ -38,26 +51,31 @@ def run_trials(
     point_id: int = 0,
     pool: "WorkerPool | None" = None,
     workers: int = 1,
+    backend: "Backend | None" = None,
 ) -> "list[MNTrialResult]":
     """Run ``trials`` independent MN trials at one ``(n, m)`` point.
 
     ``point_id`` disambiguates seeds across sweep points so that two points
-    of the same sweep never share designs.
+    of the same sweep never share designs.  Execution is configured via a
+    unified ``backend`` or the legacy ``pool``/``workers`` knobs; results
+    are identical either way.
     """
+    from repro.engine.backend import resolved_backend
+
     check_positive_int(n, "n")
     check_positive_int(m, "m")
     trials = check_positive_int(trials, "trials")
     check_nonneg_int(point_id, "point_id")
-    payloads = [(n, m, theta, k, root_seed, point_id * 1_000_003 + t) for t in range(trials)]
-    own_pool = pool is None and workers != 1
-    pool = pool if pool is not None else (WorkerPool(workers) if workers != 1 else None)
-    try:
-        if pool is None:
+    with resolved_backend(backend, pool=pool, workers=workers) as exec_backend:
+        # batch_queries is part of the design key, so the backend's value
+        # must reach each trial — not just the fan-out.
+        payloads = [
+            (n, m, theta, k, root_seed, point_id * POINT_TRIAL_STRIDE + t, exec_backend.batch_queries)
+            for t in range(trials)
+        ]
+        if exec_backend.workers == 1:
             return [_trial_task(p, {}) for p in payloads]
-        return pool.map(_trial_task, payloads)
-    finally:
-        if own_pool and pool is not None:
-            pool.shutdown()
+        return exec_backend.map(_trial_task, payloads)
 
 
 @dataclass(frozen=True)
@@ -94,17 +112,47 @@ def success_and_overlap_curve(
     root_seed: int = 0,
     pool: "WorkerPool | None" = None,
     workers: int = 1,
+    backend: "Backend | None" = None,
+    engine: str = "trial",
 ) -> "list[CurvePoint]":
     """Sweep ``m`` and aggregate success rate and overlap at each point.
 
     This single function generates the data of both Fig. 3 (success) and
     Fig. 4 (overlap): the paper's two figures are two projections of the
     same simulation grid, so we run it once.
+
+    ``engine="batched"`` replaces the per-trial Python loop with the
+    batched grid runner (:func:`repro.engine.grid.run_trial_grid`): one
+    design per point, all trials vectorised — see the module docstring for
+    the trade-off.
     """
-    own_pool = pool is None and workers != 1
-    pool = pool if pool is not None else (WorkerPool(workers) if workers != 1 else None)
+    from repro.engine.backend import resolved_backend
+
+    if engine not in ("trial", "batched"):
+        raise ValueError(f"unknown engine {engine!r}; expected 'trial' or 'batched'")
     points: "list[CurvePoint]" = []
-    try:
+    with resolved_backend(backend, pool=pool, workers=workers) as exec_backend:
+        if engine == "batched":
+            from repro.engine.grid import run_trial_grid
+
+            for r in run_trial_grid(
+                n,
+                [int(m) for m in ms],
+                theta=theta,
+                k=k,
+                trials=trials,
+                root_seed=root_seed,
+                backend=exec_backend,
+            ):
+                points.append(
+                    CurvePoint(
+                        n=n,
+                        m=r.m,
+                        success=summarize_bool([bool(s) for s in r.success]),
+                        overlap=summarize_float([float(o) for o in r.overlap]),
+                    )
+                )
+            return points
         for idx, m in enumerate(ms):
             results = run_trials(
                 n,
@@ -114,7 +162,7 @@ def success_and_overlap_curve(
                 trials=trials,
                 root_seed=root_seed,
                 point_id=idx,
-                pool=pool,
+                backend=exec_backend,
             )
             points.append(
                 CurvePoint(
@@ -124,7 +172,4 @@ def success_and_overlap_curve(
                     overlap=summarize_float([r.overlap for r in results]),
                 )
             )
-    finally:
-        if own_pool and pool is not None:
-            pool.shutdown()
     return points

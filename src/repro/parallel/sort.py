@@ -121,10 +121,16 @@ def parallel_top_k(scores: np.ndarray, k: int, blocks: int = 4) -> np.ndarray:
 
     Exactness argument: every member of the global top-k is in the top-k of
     its own block, hence among the ``blocks*k`` candidates.
+
+    Batch-aware: a ``(B, n)`` score matrix selects per row and returns a
+    ``(B, k)`` index matrix; row ``b`` equals the 1-D call on
+    ``scores[b]``, using the same block decomposition.
     """
     scores = np.asarray(scores)
+    if scores.ndim == 2:
+        return _batch_top_k(scores, k, blocks)
     if scores.ndim != 1:
-        raise ValueError("parallel_top_k expects a 1-D array")
+        raise ValueError("parallel_top_k expects a 1-D or (B, n) array")
     k = check_positive_int(k, "k")
     blocks = check_positive_int(blocks, "blocks")
     n = scores.size
@@ -149,3 +155,39 @@ def parallel_top_k(scores: np.ndarray, k: int, blocks: int = 4) -> np.ndarray:
     # Deterministic tie-break: sort candidates by (-score, index), take k.
     order = np.lexsort((cand, -scores[cand]))
     return np.sort(cand[order[:k]])
+
+
+def _batch_top_k(scores: np.ndarray, k: int, blocks: int) -> np.ndarray:
+    """Row-wise exact top-k over a ``(B, n)`` score matrix.
+
+    The same candidate construction as the 1-D path — each block
+    contributes its local top-k, the winner set is selected among the
+    ``blocks*k`` candidates — vectorised over the batch axis with stable
+    argsorts (stable on ``-scores`` realises the smallest-index-first
+    tie-break).
+    """
+    k = check_positive_int(k, "k")
+    blocks = check_positive_int(blocks, "blocks")
+    if scores.shape[0] < 1:
+        raise ValueError("batched scores must hold at least one row")
+    n = scores.shape[1]
+    if k > n:
+        raise ValueError(f"k={k} exceeds array length {n}")
+    if k == n:
+        return np.tile(np.arange(n), (scores.shape[0], 1))
+
+    candidates = []
+    for lo, hi in split_range(n, blocks):
+        size = hi - lo
+        if size == 0:
+            continue
+        kk = min(k, size)
+        local = np.argsort(-scores[:, lo:hi], axis=1, kind="stable")[:, :kk] + lo
+        candidates.append(local)
+    cand = np.concatenate(candidates, axis=1)
+    cand.sort(axis=1)  # ascending index so the stable final sort breaks ties low
+    cand_scores = np.take_along_axis(scores, cand, axis=1)
+    sel = np.argsort(-cand_scores, axis=1, kind="stable")[:, :k]
+    top = np.take_along_axis(cand, sel, axis=1)
+    top.sort(axis=1)
+    return top

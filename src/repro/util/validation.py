@@ -20,6 +20,8 @@ __all__ = [
     "check_probability",
     "check_array_1d",
     "check_binary_signal",
+    "check_binary_batch",
+    "check_weight_vector",
 ]
 
 
@@ -92,6 +94,24 @@ def check_array_1d(value: Any, name: str, *, dtype=None, length: int | None = No
     return arr
 
 
+def check_weight_vector(value: Any, batch: int, *, n: int | None = None, name: str = "k") -> np.ndarray:
+    """Validate a per-signal weight array: shape ``(batch,)``, ints ``>= 1``.
+
+    The single contract for the batched engine's ragged-``k`` inputs
+    (:func:`~repro.core.scores.mn_scores`, the MN decoder,
+    :func:`~repro.engine.batch.reconstruct_batch`); returned as ``int64``.
+    With ``n`` given, weights must also not exceed the signal length.
+    """
+    arr = np.asarray(value)
+    if arr.shape != (batch,):
+        raise ValueError(f"{name} must be a scalar or have shape (B={batch},), got {arr.shape}")
+    if not np.issubdtype(arr.dtype, np.integer) or np.any(arr < 1):
+        raise ValueError(f"every per-signal {name} must be a positive integer")
+    if n is not None and np.any(arr > n):
+        raise ValueError(f"{name}={int(arr.max())} exceeds n={n}")
+    return arr.astype(np.int64)
+
+
 def check_binary_signal(value: Any, name: str = "sigma", *, length: int | None = None) -> np.ndarray:
     """Validate a 0/1 signal vector and return it as ``int8``.
 
@@ -99,6 +119,22 @@ def check_binary_signal(value: Any, name: str = "sigma", *, length: int | None =
     required; callers must not mutate it.
     """
     arr = check_array_1d(value, name, length=length)
+    if arr.size and not np.isin(np.unique(arr), (0, 1)).all():
+        raise ValueError(f"{name} must contain only 0/1 entries")
+    return arr.astype(np.int8, copy=False)
+
+
+def check_binary_batch(value: Any, name: str = "sigma", *, length: int | None = None) -> np.ndarray:
+    """Validate a ``(B, n)`` stack of 0/1 signals and return it as ``int8``.
+
+    The batched sibling of :func:`check_binary_signal` — one vectorised
+    scan for the whole stack.  ``length`` constrains the row length ``n``.
+    """
+    arr = np.asarray(value)
+    if arr.ndim != 2 or arr.shape[0] < 1:
+        raise ValueError(f"{name} must have shape (B, n) with B >= 1, got {arr.shape}")
+    if length is not None and arr.shape[1] != length:
+        raise ValueError(f"{name} must have row length {length}, got {arr.shape[1]}")
     if arr.size and not np.isin(np.unique(arr), (0, 1)).all():
         raise ValueError(f"{name} must contain only 0/1 entries")
     return arr.astype(np.int8, copy=False)

@@ -45,6 +45,13 @@ class TestCommands:
         assert rc == 0
         assert "success" in capsys.readouterr().out
 
+    def test_fig3_batched_engine(self, capsys):
+        rc = main(
+            ["fig3", "--n", "200", "--thetas", "0.3", "--points", "3", "--trials", "3", "--workers", "1", "--engine", "batched"]
+        )
+        assert rc == 0
+        assert "success" in capsys.readouterr().out
+
     def test_fig4_small(self, capsys):
         rc = main(["fig4", "--n", "200", "--thetas", "0.3", "--points", "3", "--trials", "3", "--workers", "1"])
         assert rc == 0

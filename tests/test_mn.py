@@ -71,6 +71,32 @@ class TestDecoder:
         with pytest.raises(ValueError):
             MNDecoder(blocks=0)
 
+    def test_ragged_design_gamma_is_mean_pool_size(self):
+        # Regression: gamma used to be read off the *first* pool only,
+        # which is arbitrary for ragged hand-built designs.
+        design = PoolingDesign.from_pools(6, [[0, 1, 2, 3, 4, 5], [0], [1]])
+        assert design.mean_pool_size == 8 / 3
+        sigma = np.zeros(6, dtype=np.int8)
+        sigma[[0, 1]] = 1
+        stats = design.stats(sigma)
+        assert stats.gamma == design.mean_pool_size  # not 6, the first pool's size
+        sigma_hat = mn_reconstruct(design, design.query_results(sigma), 2)
+        assert sigma_hat.sum() == 2
+
+    def test_fig1_ragged_design_decodes(self):
+        design, sigma = PoolingDesign.fig1_example()
+        stats = design.stats(sigma)
+        assert stats.gamma == design.mean_pool_size == 16 / 5
+        sigma_hat = mn_reconstruct(design, design.query_results(sigma), int(sigma.sum()))
+        assert sigma_hat.sum() == sigma.sum()
+
+    def test_regular_design_gamma_unchanged(self):
+        rng = np.random.default_rng(6)
+        design = PoolingDesign.sample(40, 9, rng, gamma=13)
+        assert design.mean_pool_size == design.gamma == 13
+        stats = design.stats(np.zeros(40, dtype=np.int8))
+        assert stats.gamma == 13
+
 
 class TestTrials:
     def test_trial_reproducible(self):

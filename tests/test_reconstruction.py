@@ -71,6 +71,30 @@ class TestReconstruct:
         with pytest.raises(ValueError, match="inconsistent"):
             reconstruct(50, 10, lambda pools: [60] * len(pools))
 
+    def test_rejects_calibration_above_n_with_valid_pools(self):
+        # k > n from the calibration query alone (pool results plausible).
+        def oracle(pools):
+            return [len(p) + 1 if len(p) == 50 else 0 for p in pools]
+
+        with pytest.raises(ValueError, match="inconsistent"):
+            reconstruct(50, 10, oracle)
+
+    def test_rejects_float_k(self):
+        with pytest.raises(TypeError, match="int"):
+            reconstruct(50, 10, lambda pools: [0] * len(pools), k=2.0)
+
+    def test_backend_equals_blocks_path(self):
+        from repro.engine import SerialBackend
+
+        rng = np.random.default_rng(10)
+        sigma = random_signal(400, 4, rng)
+        base = reconstruct(400, 300, _oracle_for(sigma), k=4, rng=np.random.default_rng(11))
+        via_backend = reconstruct(
+            400, 300, _oracle_for(sigma), k=4, rng=np.random.default_rng(11), backend=SerialBackend(blocks=5)
+        )
+        assert np.array_equal(base.sigma_hat, via_backend.sigma_hat)
+        assert np.array_equal(base.y, via_backend.y)
+
     def test_report_supports_redecoding(self):
         rng = np.random.default_rng(8)
         sigma = random_signal(300, 3, rng)

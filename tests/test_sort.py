@@ -93,9 +93,23 @@ class TestTopK:
         with pytest.raises(ValueError):
             parallel_top_k(np.arange(3), 4)
 
-    def test_rejects_2d(self):
+    def test_rejects_3d(self):
+        # 2-D means a batch of score rows (one selection per row); anything
+        # deeper is still an error.
         with pytest.raises(ValueError):
-            parallel_top_k(np.zeros((2, 2)), 1)
+            parallel_top_k(np.zeros((2, 2, 2)), 1)
+
+    def test_batch_rows_match_single_calls(self):
+        rng = np.random.default_rng(11)
+        scores = rng.integers(-3, 3, size=(5, 40)).astype(np.float64)  # many ties
+        batch = parallel_top_k(scores, 4, blocks=3)
+        assert batch.shape == (5, 4)
+        for b in range(5):
+            assert np.array_equal(batch[b], parallel_top_k(scores[b], 4, blocks=3))
+
+    def test_batch_k_equals_n(self):
+        scores = np.zeros((3, 4))
+        assert np.array_equal(parallel_top_k(scores, 4), np.tile(np.arange(4), (3, 1)))
 
     @given(
         st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=300),
