@@ -1,17 +1,24 @@
-"""Extension ablation — MN robustness under noisy additive queries.
+"""Noise subsystem — robustness shapes and batched noisy-engine throughput.
 
-Expected shape: the thresholding decoder degrades *gracefully*: unchanged
+Expected shapes: the thresholding decoder degrades *gracefully*: unchanged
 at zero noise, mild loss while noise std stays below the score separation
 scale (≈ m/2 over √m-scale fluctuations), collapse only for huge noise.
 Dropout noise is tolerated especially well because it shrinks all queries
-proportionally (rank-preserving in expectation).
+proportionally (rank-preserving in expectation).  Repeat-query averaging
+(``repeats=r``) buys back accuracy at r× query cost.
+
+Perf shape: the batched noisy grid point (one design, ``trials`` corrupted
+signals, vectorised decode) beats ``trials`` independent single noisy
+trials — the PR-1 amortisation carries over to the noisy workload, which
+is the point of making noise a first-class engine citizen.
 """
 
 import numpy as np
 import pytest
 
 from conftest import emit
-from repro.extensions.noise import DropoutNoise, GaussianNoise, run_noisy_mn_trial
+from repro.engine.grid import run_batched_point
+from repro.noise import DropoutNoise, GaussianNoise, run_noisy_mn_trial
 from repro.util.asciiplot import format_table
 
 N, THETA, M = 500, 0.3, 400
@@ -28,6 +35,11 @@ def _overlap_at(noise, repro_seed):
     return float(np.mean(vals))
 
 
+def _batched_overlap_at(noise, repro_seed, repeats=1):
+    r = run_batched_point(N, M, theta=THETA, trials=TRIALS, root_seed=repro_seed, noise=noise, repeats=repeats)
+    return float(np.mean(r.overlap))
+
+
 @pytest.fixture(scope="module")
 def gaussian_sweep(repro_seed):
     return [(s, _overlap_at(GaussianNoise(s), repro_seed)) for s in SIGMAS]
@@ -36,6 +48,11 @@ def gaussian_sweep(repro_seed):
 @pytest.fixture(scope="module")
 def dropout_sweep(repro_seed):
     return [(q, _overlap_at(DropoutNoise(q), repro_seed + 1)) for q in DROPOUTS]
+
+
+@pytest.fixture(scope="module")
+def batched_gaussian_sweep(repro_seed):
+    return [(s, _batched_overlap_at(GaussianNoise(s), repro_seed)) for s in SIGMAS]
 
 
 def test_noise_regenerate(benchmark, repro_seed):
@@ -47,10 +64,66 @@ def test_noise_regenerate(benchmark, repro_seed):
     assert r.m == M
 
 
+def test_batched_noisy_point(benchmark, repro_seed):
+    """The engine-native noisy workload: one design, TRIALS corrupted signals."""
+    benchmark.extra_info["n"] = N
+    benchmark.extra_info["m"] = M
+    benchmark.extra_info["trials"] = TRIALS
+    benchmark.extra_info["noise"] = "gaussian:1.0"
+    r = benchmark.pedantic(
+        lambda: run_batched_point(N, M, theta=THETA, trials=TRIALS, root_seed=repro_seed, noise=GaussianNoise(1.0)),
+        rounds=3,
+        iterations=1,
+    )
+    assert r.success.shape == (TRIALS,)
+
+
+def test_batched_amortisation_beats_trial_loop(benchmark, repro_seed, check):
+    """One batched noisy point should beat TRIALS single noisy trials."""
+    import time
+
+    t0 = time.perf_counter()
+    run_batched_point(N, M, theta=THETA, trials=TRIALS, root_seed=repro_seed, noise=GaussianNoise(1.0))
+    batched_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for t in range(TRIALS):
+        run_noisy_mn_trial(N, M, GaussianNoise(1.0), theta=THETA, root_seed=repro_seed, trial=t)
+    loop_s = time.perf_counter() - t0
+    benchmark.extra_info["batched_s"] = batched_s
+    benchmark.extra_info["loop_s"] = loop_s
+    benchmark.extra_info["speedup"] = loop_s / batched_s if batched_s else float("inf")
+
+    @check
+    def _():
+        emit(
+            "Batched noisy point vs single-trial loop (n=500, m=400, 10 trials)",
+            format_table(["path", "seconds"], [("batched point", f"{batched_s:.4f}"), ("trial loop", f"{loop_s:.4f}")]),
+        )
+        # Generous bound: amortisation must at least not lose.
+        assert batched_s <= loop_s * 1.2
+
+
+def test_repeat_averaging_buys_back_accuracy(benchmark, repro_seed, check):
+    """Under heavy Gaussian noise, repeats=4 must not be worse than repeats=1."""
+    noisy = _batched_overlap_at(GaussianNoise(8.0), repro_seed)
+    averaged = _batched_overlap_at(GaussianNoise(8.0), repro_seed, repeats=4)
+
+    @check
+    def _():
+        emit(
+            "Repeat-query averaging under gaussian:8.0",
+            format_table(["repeats", "overlap"], [(1, f"{noisy:.3f}"), (4, f"{averaged:.3f}")]),
+        )
+        assert averaged >= noisy - 0.02
+
+
 def test_gaussian_graceful_degradation(gaussian_sweep, check):
     @check
     def _():
-        emit("MN overlap under Gaussian query noise (n=500, θ=0.3, m=400)", format_table(["noise std", "overlap"], [(s, f"{o:.3f}") for s, o in gaussian_sweep]))
+        emit(
+            "MN overlap under Gaussian query noise (n=500, θ=0.3, m=400)",
+            format_table(["noise std", "overlap"], [(s, f"{o:.3f}") for s, o in gaussian_sweep]),
+        )
         clean = gaussian_sweep[0][1]
         assert clean >= 0.95  # noiseless baseline well above threshold
         mild = dict(gaussian_sweep)[1.0]
@@ -67,6 +140,21 @@ def test_gaussian_monotone_trend(gaussian_sweep, check):
         assert violations <= 1, overlaps
 
 
+def test_batched_gaussian_matches_trial_shape(batched_gaussian_sweep, check):
+    """The engine path shows the same graceful-degradation shape."""
+
+    @check
+    def _():
+        emit(
+            "Batched-engine overlap under Gaussian noise",
+            format_table(["noise std", "overlap"], [(s, f"{o:.3f}") for s, o in batched_gaussian_sweep]),
+        )
+        clean = batched_gaussian_sweep[0][1]
+        assert clean >= 0.95
+        assert dict(batched_gaussian_sweep)[1.0] >= clean - 0.1
+        assert batched_gaussian_sweep[-1][1] < clean
+
+
 def test_dropout_rank_robustness(dropout_sweep, check):
     @check
     def _():
@@ -75,4 +163,3 @@ def test_dropout_rank_robustness(dropout_sweep, check):
         clean = dropout_sweep[0][1]
         ten_pct = dict(dropout_sweep)[0.1]
         assert ten_pct >= clean - 0.15
-

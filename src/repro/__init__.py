@@ -41,16 +41,31 @@ streaming batch size) is configured once via a ``Backend``
 :class:`SharedMemBackend`) and threaded through every entry point as
 ``backend=``.
 
+Noisy channels (the noise subsystem)
+------------------------------------
+Real assays return noisy counts.  Every oracle-facing entry point takes an
+optional ``noise=`` :class:`NoiseModel` (plus ``repeats=`` for
+repeat-query averaging); corruption streams are keyed per signal, so the
+batched/single bit-identity guarantees survive the noisy channel:
+
+>>> from repro import GaussianNoise
+>>> noisy = reconstruct_batch(1000, 400, signals_oracle(sigmas), 4, k=3,
+...                           rng=np.random.default_rng(0),
+...                           noise=GaussianNoise(2.0), repeats=3)
+>>> bool(np.array_equal(noisy.sigma_hat, sigmas))
+True
+
 Package map
 -----------
 ``repro.core``        model, MN decoder, thresholds, exhaustive decoder
 ``repro.engine``      execution backends + batched multi-signal engine
+``repro.noise``       noisy channels: models, keyed streams, robust decoding
 ``repro.rng``         MT19937-64 (paper parity) + deterministic substreams
 ``repro.parallel``    shared-memory worker pool, sort/matvec primitives
 ``repro.machine``     simulated lab: latency models, L-unit scheduling
 ``repro.baselines``   basis pursuit, OMP, AMP, binary group testing
 ``repro.experiments`` figure/claim regeneration drivers
-``repro.extensions``  noise, threshold queries, adaptive rounds (§VI)
+``repro.extensions``  threshold queries, adaptive rounds (§VI); noise shim
 """
 
 from repro.core import (
@@ -96,9 +111,17 @@ from repro.engine import (
     signals_oracle,
 )
 from repro.machine import SimulatedLab
+from repro.noise import (
+    DropoutNoise,
+    GaussianNoise,
+    NoiseModel,
+    parse_noise_spec,
+    robust_calibrate_k,
+    threshold_decode,
+)
 from repro.parallel import WorkerPool
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "GAMMA",
@@ -122,6 +145,12 @@ __all__ = [
     "reconstruct_batch",
     "run_trial_grid",
     "signals_oracle",
+    "NoiseModel",
+    "GaussianNoise",
+    "DropoutNoise",
+    "parse_noise_spec",
+    "robust_calibrate_k",
+    "threshold_decode",
     "random_signals",
     "exact_recovery",
     "exhaustive_decode",

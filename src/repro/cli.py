@@ -7,6 +7,7 @@ fig1      print the worked Fig. 1 example
 fig2      required queries vs n (writes results/fig2.csv)
 fig3      success rate vs m for one panel
 fig4      overlap vs m for one panel
+fignoise  noisy-channel robustness phase diagram (§VI extension)
 claims    the §VI in-text claim table
 it        empirical Theorem-2 phase transition (exhaustive)
 thresh    threshold constants table across θ
@@ -64,6 +65,29 @@ def build_parser() -> argparse.ArgumentParser:
             default="trial",
             help="per-trial loop (classic statistics) or batched grid (one design per point, trials vectorised)",
         )
+
+    pn = sub.add_parser("fignoise", help="fignoise: noisy-channel robustness phase diagram")
+    pn.add_argument("--n", type=int, default=1000)
+    pn.add_argument("--thetas", type=float, nargs="+", default=[0.1, 0.2, 0.3, 0.4])
+    pn.add_argument(
+        "--noise",
+        type=str,
+        default="gaussian:2.0",
+        help="channel spec '<family>:<max level>' (gaussian = additive std, dropout = per-occurrence drop prob)",
+    )
+    pn.add_argument("--levels", type=float, nargs="+", default=None, help="explicit level grid (default: 0..max)")
+    pn.add_argument("--points", type=int, default=5, help="level-grid size when --levels is omitted")
+    pn.add_argument("--m", type=int, default=None, help="shared query budget (default: 1.25x the per-theta threshold)")
+    pn.add_argument("--repeats", type=int, default=1, help="repeat-query averaging factor")
+    pn.add_argument("--trials", type=int, default=20)
+    pn.add_argument("--workers", type=int, default=1)
+    pn.add_argument("--seed", type=int, default=0)
+    pn.add_argument(
+        "--engine",
+        choices=("batched", "trial"),
+        default="batched",
+        help="batched grid (one design per theta, trials vectorised) or classic per-trial streaming loop",
+    )
 
     pc = sub.add_parser("claims", help="§VI in-text claim table")
     pc.add_argument("--trials", type=int, default=50)
@@ -148,6 +172,42 @@ def _cmd_fig34(args, which: str) -> int:
     return 0
 
 
+def _cmd_fignoise(args) -> int:
+    from repro.experiments.fignoise import run_fignoise
+    from repro.experiments.gnuplot import emit_fignoise_script
+    from repro.noise.models import parse_noise_spec
+
+    noise = parse_noise_spec(args.noise)
+    csv_name = f"fignoise_n{args.n}"
+    series = run_fignoise(
+        n=args.n,
+        noise=noise,
+        thetas=tuple(args.thetas),
+        levels=tuple(args.levels) if args.levels else None,
+        points=args.points,
+        m=args.m,
+        trials=args.trials,
+        root_seed=args.seed,
+        repeats=args.repeats,
+        workers=args.workers,
+        csv_name=csv_name,
+        plot=True,
+        engine=args.engine,
+    )
+    gp = emit_fignoise_script(csv_name, thetas=tuple(args.thetas), noise_family=type(noise).__name__)
+    print(f"[gnuplot script: {gp}]")
+    # The phase diagram itself: rows are theta (with their budgets), columns
+    # are noise levels, cells are exact-recovery rates.
+    levels = [p.level for p in series[0].points] if series else []
+    headers = ["theta", "m"] + [f"level={lv:g}" for lv in levels]
+    table = [
+        (f"{s.theta:.1f}", s.m, *(f"{p.success.mean:.3f}" for p in s.points))
+        for s in series
+    ]
+    print(format_table(headers, table))
+    return 0
+
+
 def _cmd_claims(args) -> int:
     from repro.experiments.claims import run_claim_table
 
@@ -214,6 +274,8 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
         return _cmd_fig2(args)
     if args.command in ("fig3", "fig4"):
         return _cmd_fig34(args, args.command)
+    if args.command == "fignoise":
+        return _cmd_fignoise(args)
     if args.command == "claims":
         return _cmd_claims(args)
     if args.command == "it":

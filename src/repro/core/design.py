@@ -57,6 +57,7 @@ from repro.util.validation import check_binary_batch, check_binary_signal, check
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine builds on core)
     from repro.engine.backend import Backend
+    from repro.noise.models import NoiseModel
 
 __all__ = ["PoolingDesign", "DesignStats", "stream_design_stats", "default_gamma"]
 
@@ -139,26 +140,6 @@ class DesignStats:
             m=self.m,
             gamma=self.gamma,
         )
-
-
-def _batch_stats_kernel(edges: np.ndarray, sigma: np.ndarray, n: int):
-    """Per-batch core: results + Ψ/Δ*/Δ contributions of a block of queries.
-
-    ``edges`` is ``(B, Γ)`` entry indices with replacement.  Distinctness is
-    resolved by sorting each row and masking repeats — the standard
-    vectorised dedup that keeps everything inside NumPy.
-    """
-    y = sigma[edges].astype(np.int64).sum(axis=1)
-    sorted_edges = np.sort(edges, axis=1)
-    first = np.empty(sorted_edges.shape, dtype=bool)
-    first[:, 0] = True
-    first[:, 1:] = sorted_edges[:, 1:] != sorted_edges[:, :-1]
-    row_of = np.nonzero(first)[0]
-    distinct_entries = sorted_edges[first]
-    psi = np.bincount(distinct_entries, weights=y[row_of].astype(np.float64), minlength=n)
-    dstar = np.bincount(distinct_entries, minlength=n)
-    delta = np.bincount(edges.ravel(), minlength=n)
-    return y, psi.astype(np.int64), dstar.astype(np.int64), delta.astype(np.int64)
 
 
 class PoolingDesign:
@@ -394,19 +375,59 @@ class PoolingDesign:
 # -- streaming path ------------------------------------------------------------------
 
 
+def _noisy_batch_stats(edges, sigma, n, noise, noise_rng):
+    """Per-batch core: results + Ψ/Δ*/Δ contributions of a block of queries.
+
+    ``edges`` is ``(B, Γ)`` entry indices with replacement.  Distinctness is
+    resolved by sorting each row and masking repeats — the standard
+    vectorised dedup that keeps everything inside NumPy.
+
+    With ``noise`` given, results are corrupted *before* the Ψ
+    accumulation, so every downstream statistic sees only the corrupted
+    world — mirroring the materialised path
+    (:func:`repro.noise.trial.run_noisy_mn_trial`).  The corruption stream
+    is keyed per logical query batch, which keeps the library's invariant:
+    for a fixed ``batch_queries`` the noisy statistics are bit-identical
+    for any worker count.
+    """
+    y = sigma[edges].astype(np.int64).sum(axis=1)
+    if noise is not None:
+        y = noise.corrupt(y, noise_rng)
+    sorted_edges = np.sort(edges, axis=1)
+    first = np.empty(sorted_edges.shape, dtype=bool)
+    first[:, 0] = True
+    first[:, 1:] = sorted_edges[:, 1:] != sorted_edges[:, :-1]
+    row_of = np.nonzero(first)[0]
+    distinct_entries = sorted_edges[first]
+    psi = np.bincount(distinct_entries, weights=y[row_of].astype(np.float64), minlength=n)
+    dstar = np.bincount(distinct_entries, minlength=n)
+    delta = np.bincount(edges.ravel(), minlength=n)
+    return y, psi.astype(np.int64), dstar.astype(np.int64), delta.astype(np.int64)
+
+
 def _stream_task(payload, cache):
     """Worker task: generate and evaluate one batch of queries.
 
     The ground truth crosses the process boundary once via shared memory;
-    the batch RNG is derived from logical indices only.
+    the batch RNG (and the optional corruption RNG) are derived from
+    logical indices only.
     """
-    (batch_idx, lo, hi, n, gamma, root_seed, trial_key, sigma_desc) = payload
+    (batch_idx, lo, hi, n, gamma, root_seed, trial_key, sigma_desc, noise) = payload
     if sigma_desc.name not in cache:
         cache[sigma_desc.name] = SharedArray.attach(sigma_desc)
     sigma = cache[sigma_desc.name].array
     rng = StreamFamily(root_seed).generator(*trial_key, batch_idx)
     edges = rng.integers(0, n, size=(hi - lo, gamma), dtype=np.int64)
-    return (lo, *_batch_stats_kernel(edges, sigma, n))
+    noise_rng = _stream_noise_rng(root_seed, trial_key, batch_idx) if noise is not None else None
+    return (lo, *_noisy_batch_stats(edges, sigma, n, noise, noise_rng))
+
+
+def _stream_noise_rng(root_seed: int, trial_key: "tuple[int, ...]", batch_idx: int) -> np.random.Generator:
+    """Corruption stream of one logical query batch of the streaming path."""
+    from repro.noise.channel import NOISE_STREAM_TAG
+    from repro.rng.streams import batch_generator
+
+    return batch_generator(root_seed, NOISE_STREAM_TAG, *trial_key, batch_idx)
 
 
 def stream_design_stats(
@@ -420,6 +441,7 @@ def stream_design_stats(
     pool: "WorkerPool | None" = None,
     workers: int = 1,
     backend: "Backend | None" = None,
+    noise: "NoiseModel | None" = None,
 ) -> DesignStats:
     """Simulate ``m`` parallel queries and accumulate MN statistics.
 
@@ -450,6 +472,13 @@ def stream_design_stats(
     backend:
         Unified execution configuration (see
         :class:`~repro.engine.backend.Backend`); supersedes ``pool``/``workers``.
+    noise:
+        Optional :class:`~repro.noise.models.NoiseModel`: each batch of
+        results is corrupted before its Ψ contribution is folded in, using
+        a stream keyed ``(root_seed, NOISE_STREAM_TAG, *trial_key, batch)``
+        — so like the design itself, the noisy statistics depend on
+        ``batch_queries`` but never on the worker count.  ``None`` is the
+        exact channel, bit-identical to the historical behaviour.
     """
     from repro.engine.backend import resolved_backend
 
@@ -479,7 +508,8 @@ def stream_design_stats(
             for b, lo, hi in batches:
                 rng = family.generator(*trial_key, b)
                 edges = rng.integers(0, n, size=(hi - lo, gamma), dtype=np.int64)
-                yb, psib, dstarb, deltab = _batch_stats_kernel(edges, sigma, n)
+                noise_rng = _stream_noise_rng(root_seed, tuple(trial_key), b) if noise is not None else None
+                yb, psib, dstarb, deltab = _noisy_batch_stats(edges, sigma, n, noise, noise_rng)
                 y[lo:hi] = yb
                 psi += psib
                 dstar += dstarb
@@ -488,7 +518,7 @@ def stream_design_stats(
             shared_sigma = SharedArray.from_array(sigma)
             try:
                 desc: SharedArrayDescriptor = shared_sigma.descriptor
-                payloads = [(b, lo, hi, n, gamma, root_seed, tuple(trial_key), desc) for b, lo, hi in batches]
+                payloads = [(b, lo, hi, n, gamma, root_seed, tuple(trial_key), desc, noise) for b, lo, hi in batches]
                 results = exec_backend.map(_stream_task, payloads)
                 for lo, yb, psib, dstarb, deltab in results:
                     y[lo : lo + yb.size] = yb

@@ -24,7 +24,7 @@ import numpy as np
 from repro.core.design import DesignStats
 from repro.core.mn import MNDecoder
 
-__all__ = ["KEstimate", "estimate_k", "decode_with_estimated_k"]
+__all__ = ["KEstimate", "estimate_k", "decode_with_estimated_k", "robust_calibrate_k"]
 
 
 @dataclass(frozen=True)
@@ -73,6 +73,45 @@ def estimate_k(stats: DesignStats) -> KEstimate:
     k_hat = max(0, int(round(raw)))
     reliable = math.isfinite(se) and (round(raw - 2 * se) == round(raw + 2 * se))
     return KEstimate(k_hat=k_hat, raw=raw, std_error=se, reliable=reliable)
+
+
+def robust_calibrate_k(calibrations: np.ndarray, *, n: "int | None" = None) -> np.ndarray:
+    """Median of replicated all-entries calibration queries.
+
+    The paper's single calibration query returns ``k`` exactly; through a
+    noisy channel each replica returns ``k`` plus corruption, and the
+    median of ``r`` replicas is the standard robust location estimate
+    (breakdown point 50% — a few wild replicas cannot move it).  With
+    identical replicas (the exact channel, any ``r``) the median *is* the
+    single-query answer, so the robust path degrades to the paper's.
+
+    Parameters
+    ----------
+    calibrations:
+        Replicated calibration results: ``(r,)`` for one signal (returns a
+        0-d ``int64`` scalar) or ``(r, B)`` for a batch (returns ``(B,)``).
+        The replica axis always comes first.
+    n:
+        Signal length; when given, calibrated weights are validated
+        against it.
+
+    Raises
+    ------
+    ValueError
+        If any calibrated weight is 0 (no signal to find) or above ``n``.
+    """
+    calibs = np.asarray(calibrations, dtype=np.int64)
+    if calibs.ndim not in (1, 2) or calibs.shape[0] < 1:
+        raise ValueError(f"calibrations must have shape (r,) or (r, B), got {calibs.shape}")
+    k_arr = np.rint(np.median(calibs, axis=0)).astype(np.int64)
+    if np.any(k_arr < 1):
+        if k_arr.ndim == 0:
+            raise ValueError("calibration query returned 0: the signal has no one-entries")
+        bad = int(np.flatnonzero(k_arr < 1)[0])
+        raise ValueError(f"calibration query returned 0 for signal {bad}: it has no one-entries")
+    if n is not None and np.any(k_arr > n):
+        raise ValueError(f"calibration query exceeded n={n} — oracle inconsistent")
+    return k_arr
 
 
 def decode_with_estimated_k(stats: DesignStats, blocks: int = 1) -> "tuple[np.ndarray, KEstimate]":

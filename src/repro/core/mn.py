@@ -34,6 +34,7 @@ from repro.util.validation import check_positive_int, check_weight_vector
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine builds on core)
     from repro.engine.backend import Backend
+    from repro.noise.models import NoiseModel
 
 __all__ = [
     "MNDecoder",
@@ -225,6 +226,7 @@ def run_mn_trial(
     pool: "WorkerPool | None" = None,
     workers: int = 1,
     backend: "Backend | None" = None,
+    noise: "NoiseModel | None" = None,
 ) -> MNTrialResult:
     """Simulate one full teacher–student round and decode with MN.
 
@@ -238,7 +240,11 @@ def run_mn_trial(
     Execution is configured either through the legacy ``pool``/``workers``
     knobs or a unified ``backend``
     (:class:`~repro.engine.backend.Backend`); the result is bit-identical
-    for every backend at a fixed ``batch_queries``.
+    for every backend at a fixed ``batch_queries``.  With ``noise`` given,
+    the streaming results pass through the noisy channel before Ψ
+    accumulation (see :func:`~repro.core.design.stream_design_stats`);
+    ``calibrate_k`` still hands the decoder the exact weight, matching the
+    paper's accounting where the calibration query is separate.
 
     Returns
     -------
@@ -263,6 +269,7 @@ def run_mn_trial(
         pool=pool,
         workers=workers,
         backend=backend,
+        noise=noise,
     )
     k_used = int(sigma.sum()) if calibrate_k else k
     decoder_blocks = backend.blocks if backend is not None else max(1, workers)

@@ -22,6 +22,7 @@ from repro.util.validation import check_positive_int
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine builds on core)
     from repro.engine.backend import Backend
+    from repro.noise.models import NoiseModel
 
 __all__ = ["reconstruct", "ReconstructionReport"]
 
@@ -65,6 +66,10 @@ def reconstruct(
     gamma: Optional[int] = None,
     blocks: int = 1,
     backend: "Backend | None" = None,
+    noise: "NoiseModel | None" = None,
+    noise_seed: int = 0,
+    noise_index: int = 0,
+    repeats: int = 1,
 ) -> ReconstructionReport:
     """Recover a k-sparse binary signal through an additive query oracle.
 
@@ -94,6 +99,26 @@ def reconstruct(
         ``blocks``.  For reconstructing many signals against one shared
         design in a single call, see
         :func:`~repro.engine.batch.reconstruct_batch`.
+    noise:
+        Optional :class:`~repro.noise.models.NoiseModel` simulating a noisy
+        channel between the oracle and the decoder: every returned result
+        (calibration queries included) is corrupted through the keyed
+        per-signal stream ``(noise_seed, NOISE_STREAM_TAG, noise_index,
+        replica)`` before decoding.  ``None`` (default) is the exact
+        channel, bit-identical to the historical behaviour.
+    noise_seed, noise_index:
+        Stream key of this signal's corruption (see
+        :mod:`repro.noise.channel`).  ``noise_index`` is what
+        :func:`~repro.engine.batch.reconstruct_batch` sets to the batch
+        position, making row ``b`` of a noisy batch bit-identical to this
+        function at ``noise_index=b``.
+    repeats:
+        Repeat-query averaging: submit the whole pool batch ``repeats``
+        times (the oracle sees ``repeats · len(pools)`` pools), average the
+        per-pool results and take the median of the replicated calibration
+        queries (:func:`~repro.core.estimate.robust_calibrate_k`).
+        Independent per-query noise shrinks by ``√repeats``; on the exact
+        channel averaging is a no-op.
 
     Returns
     -------
@@ -107,6 +132,7 @@ def reconstruct(
     """
     n = check_positive_int(n, "n")
     m = check_positive_int(m, "m")
+    repeats = check_positive_int(repeats, "repeats")
     rng = rng if rng is not None else np.random.default_rng()
 
     design = PoolingDesign.sample(n, m, rng, gamma=gamma)
@@ -114,24 +140,39 @@ def reconstruct(
     calibrated = k is None
     if calibrated:
         pools.append(np.arange(n, dtype=np.int64))
+    per_replica = len(pools)
+    if repeats > 1:
+        pools = pools * repeats
 
     results = list(oracle(pools))
     if len(results) != len(pools):
         raise ValueError(f"oracle returned {len(results)} results for {len(pools)} pools")
-    y_all = np.asarray(results, dtype=np.int64)
+    y_all = np.asarray(results, dtype=np.int64).reshape(repeats, per_replica)
     if np.any(y_all < 0):
         raise ValueError("oracle returned a negative count")
 
+    if noise is not None:
+        from repro.noise.channel import corrupt_single
+
+        y_all = np.stack(
+            [corrupt_single(y_all[r], noise, noise_seed, index=noise_index, replica=r) for r in range(repeats)]
+        )
+
     if calibrated:
-        k = int(y_all[-1])
-        y = y_all[:-1]
-        if k == 0:
-            raise ValueError("calibration query returned 0: the signal has no one-entries")
-        if k > n:
-            raise ValueError("calibration query exceeded n — oracle inconsistent")
+        from repro.core.estimate import robust_calibrate_k
+
+        k = int(robust_calibrate_k(y_all[:, -1], n=n))
+        y_reps = y_all[:, :-1]
     else:
         k = check_positive_int(k, "k")
-        y = y_all
+        y_reps = y_all
+
+    if repeats > 1:
+        from repro.noise.channel import average_replicas
+
+        y = average_replicas(y_reps)
+    else:
+        y = y_reps[0]
 
     sigma_hat = mn_reconstruct(design, y, k, blocks=blocks, backend=backend)
     return ReconstructionReport(sigma_hat=sigma_hat, k=k, design=design, y=y, calibrated=calibrated)

@@ -27,7 +27,7 @@ from repro.engine.backend import (
     resolve_backend,
 )
 from repro.engine.batch import BatchReconstructionReport, reconstruct_batch, signals_oracle
-from repro.engine.grid import BatchedPointResult, run_batched_point, run_trial_grid
+from repro.engine.grid import BatchedPointResult, run_batched_point, run_batched_point_sweep, run_trial_grid
 
 __all__ = [
     "DEFAULT_BATCH_QUERIES",
@@ -40,5 +40,6 @@ __all__ = [
     "signals_oracle",
     "BatchedPointResult",
     "run_batched_point",
+    "run_batched_point_sweep",
     "run_trial_grid",
 ]

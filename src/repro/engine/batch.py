@@ -18,15 +18,19 @@ single-signal calls sharing the design — at a fraction of the cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 import numpy as np
 
 from repro.core.design import DesignStats, PoolingDesign
+from repro.core.estimate import robust_calibrate_k
 from repro.core.mn import MNDecoder
 from repro.core.reconstruction import ReconstructionReport
 from repro.engine.backend import Backend
 from repro.util.validation import check_positive_int, check_weight_vector
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.noise.models import NoiseModel
 
 __all__ = ["reconstruct_batch", "BatchReconstructionReport", "signals_oracle"]
 
@@ -109,6 +113,9 @@ def reconstruct_batch(
     gamma: Optional[int] = None,
     blocks: int = 1,
     backend: "Backend | None" = None,
+    noise: "NoiseModel | None" = None,
+    noise_seed: int = 0,
+    repeats: int = 1,
 ) -> BatchReconstructionReport:
     """Recover ``B`` k-sparse binary signals through one shared design.
 
@@ -144,6 +151,21 @@ def reconstruct_batch(
     backend:
         Optional :class:`~repro.engine.backend.Backend`; supersedes
         ``blocks``.
+    noise:
+        Optional :class:`~repro.noise.models.NoiseModel` simulating a noisy
+        channel between the oracle and the decoder.  Signal ``b``'s results
+        (calibration included) are corrupted through its own keyed stream
+        ``(noise_seed, NOISE_STREAM_TAG, b, replica)``, so every row stays
+        bit-identical to the single-signal
+        :func:`~repro.core.reconstruction.reconstruct` call with
+        ``noise_index=b`` — and ``B=1`` to the plain single-signal path.
+    noise_seed:
+        Root seed of the corruption streams (independent of ``rng``).
+    repeats:
+        Repeat-query averaging: the oracle answers the whole pool batch
+        ``repeats`` times; per-pool results are averaged and per-signal
+        weights calibrated by the replica median
+        (:func:`~repro.core.estimate.robust_calibrate_k`).
 
     Raises
     ------
@@ -154,6 +176,7 @@ def reconstruct_batch(
     n = check_positive_int(n, "n")
     m = check_positive_int(m, "m")
     B = check_positive_int(B, "B")
+    repeats = check_positive_int(repeats, "repeats")
     rng = rng if rng is not None else np.random.default_rng()
 
     design = PoolingDesign.sample(n, m, rng, gamma=gamma)
@@ -161,28 +184,42 @@ def reconstruct_batch(
     calibrated = k is None
     if calibrated:
         pools.append(np.arange(n, dtype=np.int64))
+    per_replica = len(pools)
+    if repeats > 1:
+        pools = pools * repeats
 
     results = np.asarray(oracle(pools))
     if results.shape != (B, len(pools)):
         raise ValueError(f"oracle returned shape {results.shape} for {B} signals x {len(pools)} pools")
-    results = results.astype(np.int64)
-    if np.any(results < 0):
+    # Replica-major view: replicas[r] is the (B, per_replica) answer to the
+    # r-th copy of the pool batch.
+    replicas = results.astype(np.int64).reshape(B, repeats, per_replica).transpose(1, 0, 2)
+    if np.any(replicas < 0):
         raise ValueError("oracle returned a negative count")
 
+    if noise is not None:
+        from repro.noise.channel import corrupt_batch
+
+        replicas = np.stack(
+            [corrupt_batch(replicas[r], noise, noise_seed, replica=r) for r in range(repeats)]
+        )
+
     if calibrated:
-        k_arr = results[:, -1].copy()
-        y = results[:, :-1]
-        if np.any(k_arr == 0):
-            bad = int(np.flatnonzero(k_arr == 0)[0])
-            raise ValueError(f"calibration query returned 0 for signal {bad}: it has no one-entries")
-        if np.any(k_arr > n):
-            raise ValueError("calibration query exceeded n — oracle inconsistent")
+        k_arr = np.asarray(robust_calibrate_k(replicas[:, :, -1], n=n))
+        y_reps = replicas[:, :, :-1]
     else:
         if np.ndim(k) == 0:
             k_arr = np.full(B, check_positive_int(k, "k"), dtype=np.int64)
         else:
             k_arr = check_weight_vector(k, B)
-        y = results
+        y_reps = replicas
+
+    if repeats > 1:
+        from repro.noise.channel import average_replicas
+
+        y = average_replicas(y_reps)
+    else:
+        y = y_reps[0]
 
     stats = DesignStats(
         y=y,

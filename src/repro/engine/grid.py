@@ -23,11 +23,11 @@ throughput and wide grids.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
-from repro.core.design import PoolingDesign
+from repro.core.design import DesignStats, PoolingDesign
 from repro.core.mn import POINT_TRIAL_STRIDE, SIGNAL_STREAM_TAG, MNDecoder
 from repro.core.signal import exact_recovery, overlap_fraction, random_signal, theta_to_k
 from repro.engine.backend import Backend, resolved_backend
@@ -35,7 +35,10 @@ from repro.parallel.pool import WorkerPool
 from repro.rng.streams import batch_generator
 from repro.util.validation import check_nonneg_int, check_positive_int
 
-__all__ = ["run_batched_point", "run_trial_grid", "BatchedPointResult"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.noise.models import NoiseModel
+
+__all__ = ["run_batched_point", "run_batched_point_sweep", "run_trial_grid", "BatchedPointResult"]
 
 #: Spawn-key tag for the per-point shared design stream (distinct from every
 #: tag used by the classic runner).
@@ -68,12 +71,43 @@ def run_batched_point(
     point_id: int = 0,
     gamma: Optional[int] = None,
     blocks: int = 1,
+    noise: "NoiseModel | None" = None,
+    repeats: int = 1,
 ) -> BatchedPointResult:
     """Run one grid point: ``trials`` signals decoded against one design.
 
     The design is keyed by ``(root_seed, point_id)``; signal ``t`` is keyed
     exactly as the classic runner's trial ``point_id * 1_000_003 + t``.
     Deterministic in all arguments — worker counts never enter the keys.
+
+    With ``noise`` given, each trial's results are corrupted through its
+    own stream keyed ``(root_seed, NOISE_STREAM_TAG, point_id * 1_000_003
+    + t, replica)`` — per-trial streams exactly like the signal draws, so
+    the noisy point is deterministic and trials stay exchangeable.
+    ``repeats`` averages that many corrupted replicas per trial
+    (repeat-query averaging); the zero-level channel is an exact no-op and
+    reproduces the noiseless point bit for bit.
+    """
+    repeats = check_positive_int(repeats, "repeats")
+    design, sigmas, k = _point_first_stage(n, m, theta, k, trials, root_seed, point_id, gamma)
+    y_clean = design.query_results(sigmas)
+    return _decode_noisy_point(design, sigmas, y_clean, k, root_seed, point_id, blocks, noise, repeats)
+
+
+def _point_first_stage(
+    n: int,
+    m: int,
+    theta: Optional[float],
+    k: Optional[int],
+    trials: int,
+    root_seed: int,
+    point_id: int,
+    gamma: Optional[int],
+) -> "tuple[PoolingDesign, np.ndarray, int]":
+    """Validate a grid point and draw its signal-independent first stage.
+
+    Returns the keyed design, the ``(trials, n)`` signal stack and the
+    resolved weight ``k`` — everything downstream of this is per-channel.
     """
     n = check_positive_int(n, "n")
     m = check_positive_int(m, "m")
@@ -92,21 +126,95 @@ def run_batched_point(
         # Same stream key as run_mn_trial's signal draw for this trial id.
         trial = point_id * POINT_TRIAL_STRIDE + t
         sigmas[t] = random_signal(n, k, batch_generator(root_seed, SIGNAL_STREAM_TAG, trial))
+    return design, sigmas, k
 
-    stats = design.stats(sigmas)
+
+def _decode_noisy_point(
+    design: PoolingDesign,
+    sigmas: np.ndarray,
+    y_clean: np.ndarray,
+    k: int,
+    root_seed: int,
+    point_id: int,
+    blocks: int,
+    noise: "NoiseModel | None",
+    repeats: int,
+) -> BatchedPointResult:
+    """Corrupt + decode one batched point against precomputed first-stage data.
+
+    The shared tail of :func:`run_batched_point` and
+    :func:`run_batched_point_sweep`: everything signal- and
+    channel-dependent happens here, everything design-dependent
+    (``design``, ``sigmas``, ``y_clean``) is paid by the caller — once per
+    point, or once per whole level sweep.
+    """
+    if noise is None:
+        y = y_clean
+    else:
+        from repro.noise.channel import average_replicas, corrupt_batch
+
+        replicas = np.stack(
+            [
+                corrupt_batch(y_clean, noise, root_seed, base_index=point_id * POINT_TRIAL_STRIDE, replica=r)
+                for r in range(repeats)
+            ]
+        )
+        y = average_replicas(replicas) if repeats > 1 else replicas[0]
+    stats = DesignStats(
+        y=y,
+        psi=design.psi(y),
+        dstar=design.dstar(),
+        delta=design.delta(),
+        n=design.n,
+        m=design.m,
+        gamma=design.mean_pool_size,
+    )
     sigma_hat = MNDecoder(blocks=blocks).decode(stats, k)
     return BatchedPointResult(
-        n=n,
-        m=m,
+        n=design.n,
+        m=design.m,
         k=k,
         success=np.asarray(exact_recovery(sigmas, sigma_hat)),
         overlap=np.asarray(overlap_fraction(sigmas, sigma_hat)),
     )
 
 
+def run_batched_point_sweep(
+    n: int,
+    m: int,
+    models: "Sequence[NoiseModel | None]",
+    *,
+    theta: Optional[float] = None,
+    k: Optional[int] = None,
+    trials: int = 20,
+    root_seed: int = 0,
+    point_id: int = 0,
+    gamma: Optional[int] = None,
+    blocks: int = 1,
+    repeats: int = 1,
+) -> "list[BatchedPointResult]":
+    """One grid point swept over several noise channels, first stage shared.
+
+    All ``models`` see the *same* design, signals and clean query results
+    (sampled once — the two-stage amortisation that makes noisy scenario
+    sweeps cheap); only corruption + decode run per model.  Element ``i``
+    is bit-identical to ``run_batched_point(..., noise=models[i])``, and
+    since corruption streams are keyed by trial id, not by model, a level
+    sweep of one channel family is a paired (common-random-numbers)
+    comparison.
+    """
+    repeats = check_positive_int(repeats, "repeats")
+    design, sigmas, k = _point_first_stage(n, m, theta, k, trials, root_seed, point_id, gamma)
+    y_clean = design.query_results(sigmas)
+    return [
+        _decode_noisy_point(design, sigmas, y_clean, k, root_seed, point_id, blocks, model, repeats)
+        for model in models
+    ]
+
+
 def _grid_point_task(payload, cache) -> BatchedPointResult:
     """Module-level worker task (picklable) running one batched grid point."""
-    n, m, theta, k, trials, root_seed, point_id, gamma, blocks = payload
+    n, m, theta, k, trials, root_seed, point_id, gamma, blocks, noise, repeats = payload
     return run_batched_point(
         n,
         m,
@@ -117,6 +225,8 @@ def _grid_point_task(payload, cache) -> BatchedPointResult:
         point_id=point_id,
         gamma=gamma,
         blocks=blocks,
+        noise=noise,
+        repeats=repeats,
     )
 
 
@@ -132,17 +242,21 @@ def run_trial_grid(
     backend: "Backend | None" = None,
     pool: "WorkerPool | None" = None,
     workers: int = 1,
+    noise: "NoiseModel | None" = None,
+    repeats: int = 1,
 ) -> "list[BatchedPointResult]":
     """Sweep ``m`` over a grid with batched per-point execution.
 
     Grid points fan out over the backend (one task per point — points are
     the natural unit here since each already amortises its trials); results
     come back in grid order regardless of worker count, so the sweep is
-    bit-reproducible for every backend.
+    bit-reproducible for every backend.  ``noise``/``repeats`` thread the
+    noisy channel into every point (models are plain frozen dataclasses,
+    so they cross the process boundary with the payload).
     """
     with resolved_backend(backend, pool=pool, workers=workers) as exec_backend:
         payloads = [
-            (n, int(m), theta, k, trials, root_seed, idx, gamma, exec_backend.blocks)
+            (n, int(m), theta, k, trials, root_seed, idx, gamma, exec_backend.blocks, noise, repeats)
             for idx, m in enumerate(ms)
         ]
         if exec_backend.workers == 1:

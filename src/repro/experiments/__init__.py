@@ -24,6 +24,7 @@ from repro.experiments.search import minimal_queries_for_recovery
 from repro.experiments.fig2 import run_fig2, Fig2Row
 from repro.experiments.fig3 import run_fig3
 from repro.experiments.fig4 import run_fig4
+from repro.experiments.fignoise import run_fignoise, FignoiseSeries, FignoisePoint
 from repro.experiments.claims import run_claim_table
 from repro.experiments.itcheck import run_it_threshold
 from repro.experiments.io import write_csv, results_dir
@@ -37,6 +38,9 @@ __all__ = [
     "Fig2Row",
     "run_fig3",
     "run_fig4",
+    "run_fignoise",
+    "FignoiseSeries",
+    "FignoisePoint",
     "run_claim_table",
     "run_it_threshold",
     "write_csv",

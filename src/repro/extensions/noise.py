@@ -1,113 +1,16 @@
-"""Noisy additive queries and MN robustness.
+"""Compatibility shim — the noise extension grew into :mod:`repro.noise`.
 
-The paper assumes exact counts; real assays (PCR cycle thresholds, pooled
-sequencing depth) report noisy ones.  Because the MN decoder is a global
-thresholding rule whose class separation is ``Θ(m)`` while per-query noise
-perturbs each Ψ_i by ``O(√m)·noise``, it degrades gracefully — the
-robustness sweep quantifies this.
-
-Two channel models:
-
-* :class:`GaussianNoise` — ``y' = max(0, round(y + N(0, s²)))``; additive
-  measurement error.
-* :class:`DropoutNoise` — each one-entry occurrence is *counted* only with
-  probability ``1 − q`` (``y' ~ Bin(y, 1−q)``); models false-negative
-  chemistry.  Dropout shrinks every query in expectation by the same
-  factor, which largely cancels in MN's *ranking* — an observation the
-  bench makes quantitative.
+The single-trial noisy toy that lived here is now a first-class subsystem
+(models, keyed corruption streams, robust decoding, the batched noisy
+engine path); see :mod:`repro.noise`.  This module re-exports the original
+public names so historical imports keep working unchanged —
+``run_noisy_mn_trial`` with default arguments is bit-identical to the
+pre-refactor implementation.
 """
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.core.design import PoolingDesign
-from repro.core.mn import MNTrialResult, mn_reconstruct
-from repro.core.signal import exact_recovery, overlap_fraction, random_signal, theta_to_k
-from repro.util.validation import check_positive_int, check_probability
+from repro.noise.models import DropoutNoise, GaussianNoise, NoiseModel
+from repro.noise.trial import run_noisy_mn_trial
 
 __all__ = ["NoiseModel", "GaussianNoise", "DropoutNoise", "run_noisy_mn_trial"]
-
-
-class NoiseModel(ABC):
-    """Interface: corrupt a vector of exact query results."""
-
-    @abstractmethod
-    def corrupt(self, y: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        """Return the corrupted (still non-negative integer) results."""
-
-
-@dataclass(frozen=True)
-class GaussianNoise(NoiseModel):
-    """Additive Gaussian error with std ``sigma``, rounded and clipped."""
-
-    sigma: float
-
-    def __post_init__(self) -> None:
-        if not (self.sigma >= 0):
-            raise ValueError("sigma must be non-negative")
-
-    def corrupt(self, y: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        y = np.asarray(y, dtype=np.float64)
-        noisy = np.rint(y + self.sigma * rng.standard_normal(y.shape))
-        return np.maximum(noisy, 0).astype(np.int64)
-
-
-@dataclass(frozen=True)
-class DropoutNoise(NoiseModel):
-    """Each counted occurrence survives independently w.p. ``1 − q``."""
-
-    q: float
-
-    def __post_init__(self) -> None:
-        check_probability(self.q, "q")
-
-    def corrupt(self, y: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        y = np.asarray(y, dtype=np.int64)
-        if np.any(y < 0):
-            raise ValueError("query results must be non-negative")
-        return rng.binomial(y, 1.0 - self.q).astype(np.int64)
-
-
-def run_noisy_mn_trial(
-    n: int,
-    m: int,
-    noise: NoiseModel,
-    *,
-    theta: "float | None" = None,
-    k: "int | None" = None,
-    root_seed: int = 0,
-    trial: int = 0,
-) -> MNTrialResult:
-    """One MN trial through a noisy additive channel.
-
-    The corruption is applied to the query results *before* Ψ accumulation
-    — the decoder sees only the corrupted world, exactly as a lab would.
-    The design is materialised (robustness sweeps use moderate sizes), so
-    Ψ is recomputed against the noisy results directly.
-    """
-    n = check_positive_int(n, "n")
-    check_positive_int(m, "m")
-    if (theta is None) == (k is None):
-        raise ValueError("provide exactly one of theta or k")
-    if k is None:
-        k = theta_to_k(n, float(theta))
-    k = check_positive_int(k, "k")
-
-    seq = np.random.SeedSequence(entropy=root_seed, spawn_key=(941, trial))
-    sig_rng, design_rng, noise_rng = (np.random.Generator(np.random.PCG64(s)) for s in seq.spawn(3))
-    sigma = random_signal(n, k, sig_rng)
-    design = PoolingDesign.sample(n, m, design_rng)
-    y_noisy = noise.corrupt(design.query_results(sigma), noise_rng)
-    sigma_hat = mn_reconstruct(design, y_noisy, k)
-    return MNTrialResult(
-        n=n,
-        k=k,
-        m=m,
-        success=exact_recovery(sigma, sigma_hat),
-        overlap=overlap_fraction(sigma, sigma_hat),
-        k_used=k,
-    )

@@ -1,0 +1,58 @@
+"""Noisy-channel subsystem: models, keyed corruption streams, robust decoding.
+
+The paper's oracle returns exact counts; §VI poses robustness to noisy
+results as the natural extension.  This package makes the noisy channel a
+first-class citizen of the batched engine:
+
+* :mod:`repro.noise.models` — :class:`NoiseModel` (Gaussian, dropout) and
+  the CLI spec parser (``"gaussian:2.0"``).
+* :mod:`repro.noise.channel` — deterministic per-signal corruption streams
+  keyed ``(noise_seed, NOISE_STREAM_TAG, signal, replica)``; batch rows are
+  bit-identical to single-signal corruption, so every facade-level
+  bit-identity guarantee of the engine survives the noisy channel.
+* :mod:`repro.noise.robust` — repeat-query averaging, robust (median)
+  k-calibration and the noise-aware score-threshold decoder.
+* :mod:`repro.noise.trial` — the single-trial simulation harness with
+  LP/OMP comparison hooks.
+
+Entry points grow a ``noise=`` (and ``repeats=``) parameter rather than a
+separate code path: :func:`repro.reconstruct`,
+:func:`repro.reconstruct_batch`,
+:func:`repro.core.design.stream_design_stats`,
+:func:`repro.core.mn.run_mn_trial` and the batched grid runner all thread
+the same model through, and ``noise=None`` stays bit-identical to the
+exact-channel code they always ran.
+"""
+
+from repro.noise.channel import (
+    NOISE_STREAM_TAG,
+    average_replicas,
+    corrupt_batch,
+    corrupt_single,
+    noise_stream,
+)
+from repro.noise.models import DropoutNoise, GaussianNoise, NoiseModel, parse_noise_spec
+from repro.noise.robust import (
+    ThresholdDecodeResult,
+    robust_calibrate_k,
+    score_noise_std,
+    threshold_decode,
+)
+from repro.noise.trial import run_noisy_mn_trial
+
+__all__ = [
+    "NoiseModel",
+    "GaussianNoise",
+    "DropoutNoise",
+    "parse_noise_spec",
+    "NOISE_STREAM_TAG",
+    "noise_stream",
+    "corrupt_single",
+    "corrupt_batch",
+    "average_replicas",
+    "robust_calibrate_k",
+    "score_noise_std",
+    "threshold_decode",
+    "ThresholdDecodeResult",
+    "run_noisy_mn_trial",
+]

@@ -1,0 +1,109 @@
+"""The noisy-channel layer: deterministic per-signal corruption streams.
+
+The library's central reproducibility invariant is that every random
+quantity is keyed by *logical* indices, never by execution layout (see
+:mod:`repro.rng.streams`).  Noise follows the same rule: each signal of a
+batch owns its own corruption stream, keyed
+
+    ``(noise_seed, NOISE_STREAM_TAG, signal_index, replica)``
+
+exactly as ground-truth signals are keyed by
+:data:`~repro.core.mn.SIGNAL_STREAM_TAG`.  Consequences, all asserted by
+the test suite:
+
+* ``B = 1`` batched corruption is bit-identical to the single-signal path;
+* row ``b`` of a ``(B, m)`` corruption equals the single-signal corruption
+  of row ``b`` at ``index = b`` — so ``reconstruct_batch(..., noise=...)``
+  stays bit-identical per signal to ``B`` independent
+  ``reconstruct(..., noise=...)`` calls with matched seeds;
+* replicas (repeat-query averaging, ``repeats=r``) draw independent
+  streams per replica, and ``repeats=1`` uses replica ``0`` so the
+  un-replicated path is a special case, not a different keying.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.noise.models import NoiseModel
+from repro.rng.streams import batch_generator
+from repro.util.validation import check_nonneg_int, check_positive_int
+
+__all__ = [
+    "NOISE_STREAM_TAG",
+    "noise_stream",
+    "corrupt_single",
+    "corrupt_batch",
+    "average_replicas",
+]
+
+#: Spawn-key tag for per-signal corruption streams — the noise-channel
+#: sibling of :data:`repro.core.mn.SIGNAL_STREAM_TAG`, distinct from every
+#: other tag in the library so noise never perturbs design or signal draws.
+NOISE_STREAM_TAG = 88817
+
+
+def noise_stream(noise_seed: int, index: int = 0, replica: int = 0) -> np.random.Generator:
+    """The corruption stream of signal ``index``, replica ``replica``."""
+    check_nonneg_int(index, "index")
+    check_nonneg_int(replica, "replica")
+    return batch_generator(noise_seed, NOISE_STREAM_TAG, index, replica)
+
+
+def corrupt_single(
+    y: np.ndarray,
+    noise: NoiseModel,
+    noise_seed: int,
+    *,
+    index: int = 0,
+    replica: int = 0,
+) -> np.ndarray:
+    """Corrupt one signal's results with its keyed stream."""
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError(f"corrupt_single expects a 1-D result vector, got shape {y.shape}")
+    return noise.corrupt(y, noise_stream(noise_seed, index, replica))
+
+
+def corrupt_batch(
+    y: np.ndarray,
+    noise: NoiseModel,
+    noise_seed: int,
+    *,
+    base_index: int = 0,
+    index_stride: int = 1,
+    replica: int = 0,
+) -> np.ndarray:
+    """Corrupt a ``(B, m)`` result batch, one keyed stream per row.
+
+    Row ``b`` uses the stream of ``index = base_index + b * index_stride``,
+    so it is bit-identical to
+    ``corrupt_single(y[b], ..., index=base_index + b * index_stride)``.
+    ``index_stride`` lets grid runners key rows by trial id
+    (``point_id * POINT_TRIAL_STRIDE + t``) while facades use the plain
+    batch position.
+    """
+    y = np.asarray(y)
+    if y.ndim != 2 or y.shape[0] < 1:
+        raise ValueError(f"corrupt_batch expects a (B, m) result batch, got shape {y.shape}")
+    check_positive_int(index_stride, "index_stride")
+    out = np.empty_like(y, dtype=np.int64)
+    for b in range(y.shape[0]):
+        out[b] = noise.corrupt(y[b], noise_stream(noise_seed, base_index + b * index_stride, replica))
+    return out
+
+
+def average_replicas(replicas: np.ndarray) -> np.ndarray:
+    """Round the replica-mean back to integer counts (repeat-query averaging).
+
+    ``replicas`` stacks ``r`` corrupted copies of the same results along
+    axis 0 — shape ``(r, m)`` or ``(r, B, m)`` — and the output drops that
+    axis.  Averaging shrinks independent per-replica noise by ``√r``; with
+    identical replicas (the zero-noise channel) the mean is exact and the
+    rounding is a no-op, which keeps ``repeats`` orthogonal to the
+    bit-identity guarantees.
+    """
+    replicas = np.asarray(replicas)
+    if replicas.ndim < 2:
+        raise ValueError(f"replicas must stack result vectors on axis 0, got shape {replicas.shape}")
+    return np.rint(replicas.mean(axis=0)).astype(np.int64)

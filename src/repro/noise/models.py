@@ -1,0 +1,147 @@
+"""Noise models — parametric corruptions of additive query results.
+
+The paper assumes exact counts; real assays (PCR cycle thresholds, pooled
+sequencing depth) report noisy ones.  A :class:`NoiseModel` is a frozen,
+picklable description of one noisy channel: it turns a vector (or batch)
+of exact results into corrupted ones using an explicitly supplied
+generator, so *where* the randomness comes from is always the caller's
+decision (see :mod:`repro.noise.channel` for the stream-keying layer).
+
+Two channel models ship:
+
+* :class:`GaussianNoise` — ``y' = max(0, round(y + N(0, s²)))``; additive
+  measurement error.
+* :class:`DropoutNoise` — each one-entry occurrence is *counted* only with
+  probability ``1 − q`` (``y' ~ Bin(y, 1−q)``); models false-negative
+  chemistry.  Dropout shrinks every query in expectation by the same
+  factor, which largely cancels in MN's *ranking* — an observation the
+  bench makes quantitative.
+
+Every model exposes a scalar :attr:`~NoiseModel.level` (0 = exact channel)
+and :meth:`~NoiseModel.with_level`, which is what the robustness
+phase-diagram sweep (:mod:`repro.experiments.fignoise`) varies, and
+:meth:`~NoiseModel.result_std`, the per-query corruption scale the robust
+decoder's noise-aware threshold consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_probability
+
+__all__ = ["NoiseModel", "GaussianNoise", "DropoutNoise", "parse_noise_spec"]
+
+
+class NoiseModel(ABC):
+    """Interface: corrupt a vector (or batch) of exact query results."""
+
+    @abstractmethod
+    def corrupt(self, y: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Return the corrupted (still non-negative integer) results.
+
+        Shape-preserving: a ``(m,)`` input yields ``(m,)``, a ``(B, m)``
+        batch yields ``(B, m)``.  All randomness comes from ``rng``.
+        """
+
+    @property
+    @abstractmethod
+    def level(self) -> float:
+        """Scalar noise intensity; ``0`` must make :meth:`corrupt` a no-op."""
+
+    @abstractmethod
+    def with_level(self, level: float) -> "NoiseModel":
+        """A new model of the same family at intensity ``level``."""
+
+    @abstractmethod
+    def result_std(self, mean_result: float) -> float:
+        """Std of the corruption on one query whose clean result is ``mean_result``.
+
+        The robust decoder's noise-aware threshold scales its guard band by
+        this quantity (see :func:`repro.noise.robust.score_noise_std`).
+        """
+
+
+@dataclass(frozen=True)
+class GaussianNoise(NoiseModel):
+    """Additive Gaussian error with std ``sigma``, rounded and clipped."""
+
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if not (self.sigma >= 0):
+            raise ValueError("sigma must be non-negative")
+
+    def corrupt(self, y: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        y = np.asarray(y, dtype=np.float64)
+        noisy = np.rint(y + self.sigma * rng.standard_normal(y.shape))
+        return np.maximum(noisy, 0).astype(np.int64)
+
+    @property
+    def level(self) -> float:
+        return float(self.sigma)
+
+    def with_level(self, level: float) -> "GaussianNoise":
+        return GaussianNoise(float(level))
+
+    def result_std(self, mean_result: float) -> float:
+        return float(self.sigma)
+
+
+@dataclass(frozen=True)
+class DropoutNoise(NoiseModel):
+    """Each counted occurrence survives independently w.p. ``1 − q``."""
+
+    q: float
+
+    def __post_init__(self) -> None:
+        check_probability(self.q, "q")
+
+    def corrupt(self, y: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        y = np.asarray(y, dtype=np.int64)
+        if np.any(y < 0):
+            raise ValueError("query results must be non-negative")
+        return rng.binomial(y, 1.0 - self.q).astype(np.int64)
+
+    @property
+    def level(self) -> float:
+        return float(self.q)
+
+    def with_level(self, level: float) -> "DropoutNoise":
+        return DropoutNoise(float(level))
+
+    def result_std(self, mean_result: float) -> float:
+        if mean_result < 0:
+            raise ValueError("mean_result must be non-negative")
+        return math.sqrt(mean_result * self.q * (1.0 - self.q))
+
+
+_FAMILIES = {"gaussian": GaussianNoise, "dropout": DropoutNoise}
+
+
+def parse_noise_spec(spec: str) -> NoiseModel:
+    """Parse a CLI noise spec like ``"gaussian:2.0"`` or ``"dropout:0.05"``.
+
+    The grammar is ``<family>:<level>`` with families ``gaussian`` (level =
+    std) and ``dropout`` (level = per-occurrence drop probability).
+
+    >>> parse_noise_spec("gaussian:2.0")
+    GaussianNoise(sigma=2.0)
+    >>> parse_noise_spec("dropout:0.05")
+    DropoutNoise(q=0.05)
+    """
+    family, sep, level_str = spec.partition(":")
+    family = family.strip().lower()
+    if family not in _FAMILIES:
+        raise ValueError(f"unknown noise family {family!r}; expected one of {sorted(_FAMILIES)}")
+    if not sep:
+        raise ValueError(f"noise spec {spec!r} is missing a level; use e.g. '{family}:1.0'")
+    try:
+        level = float(level_str)
+    except ValueError:
+        raise ValueError(f"noise level {level_str!r} is not a number") from None
+    return _FAMILIES[family](level)

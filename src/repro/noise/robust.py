@@ -1,0 +1,159 @@
+"""Robust decoding on top of MN: noise-aware thresholds and calibration.
+
+Three defences against a noisy channel, composable and all reducing to the
+exact-channel behaviour at zero noise:
+
+* **Repeat-query averaging** — replicate the design ``r`` times and
+  average the results (:func:`repro.noise.channel.average_replicas`);
+  independent per-query noise shrinks by ``√r``.  Wired into
+  :func:`~repro.core.reconstruction.reconstruct` and
+  :func:`~repro.engine.batch.reconstruct_batch` as ``repeats=r``.
+* **Robust k-calibration** — the paper's single all-entries query becomes
+  the *median* of ``r`` replicated calibration queries
+  (:func:`repro.core.estimate.robust_calibrate_k`, re-exported here).
+* **A noise-aware score threshold** — :func:`threshold_decode` classifies
+  each entry by comparing its MN score against the midpoint between the
+  two class means instead of taking a top-``k`` cut.  The means follow
+  from the design statistics themselves: with hit rate ``q = Γ/n`` a zero
+  entry's score concentrates at ``Δ̄*·k̂·(q − ½)`` (exactly 0 for the
+  paper's ``Γ = n/2``) and a one entry sits ``q·(m − Δ̄*)`` above it — its
+  own ``Δ_i`` occurrences minus the ``Δ*_i·q`` it displaces from the
+  centring.  Mean-shrinking channels (dropout) scale the gap by ``1 − q_d``
+  (the ``k̂``-dependent part self-corrects because ``k̂`` shrinks with the
+  observations).  The rule needs no weight input at all and reports
+  whether the noise level leaves the decision margin intact (``z``-sigma
+  rule via :func:`score_noise_std`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.design import DesignStats
+from repro.core.estimate import robust_calibrate_k
+from repro.noise.models import DropoutNoise, NoiseModel
+from repro.util.validation import check_positive_int
+
+__all__ = ["score_noise_std", "threshold_decode", "ThresholdDecodeResult", "robust_calibrate_k"]
+
+
+def mean_shrinkage(noise: Optional[NoiseModel]) -> float:
+    """Multiplicative shrink the channel applies to expected results.
+
+    Additive channels (Gaussian) preserve the mean; dropout shrinks every
+    expected result by ``1 − q``, and with it the MN score separation — the
+    noise-aware threshold rescales by this factor.
+    """
+    if isinstance(noise, DropoutNoise):
+        return 1.0 - noise.q
+    return 1.0
+
+
+def score_noise_std(stats: DesignStats, noise: NoiseModel, repeats: int = 1) -> float:
+    """Std of the noise-induced perturbation of one entry's MN score.
+
+    ``Ψ_i`` sums results over the ``Δ*_i`` distinct queries containing
+    ``i``, so independent per-query corruption of std ``s`` perturbs the
+    score by ``≈ s·√(mean Δ*)``; averaging ``r`` replicas divides by
+    ``√r``.  The per-query ``s`` comes from the model's
+    :meth:`~repro.noise.models.NoiseModel.result_std` at the observed mean
+    result (the scale dropout's binomial variance depends on).
+    """
+    repeats = check_positive_int(repeats, "repeats")
+    s = noise.result_std(float(np.asarray(stats.y).mean()))
+    return float(np.sqrt(stats.dstar.mean()) * s / np.sqrt(repeats))
+
+
+@dataclass(frozen=True)
+class ThresholdDecodeResult:
+    """Outcome of a noise-aware threshold decode.
+
+    Attributes
+    ----------
+    sigma_hat:
+        0/1 estimate, ``(n,)`` or ``(B, n)`` matching the stats.
+    k_hat:
+        Method-of-moments weight estimate(s) backing the scores (float —
+        the threshold rule never rounds it).
+    tau:
+        Score cutoff(s) used — the midpoint between the expected class
+        means; scalar for single-signal stats, ``(B,)`` for batched ones
+        (the zero-class mean depends on each signal's ``k̂``).
+    margin:
+        Half the expected class separation (distance from cutoff to either
+        class mean).
+    score_std:
+        Noise-induced score std (``0`` for the exact channel).
+    reliable:
+        Whether the decision margin survives the noise:
+        ``z·score_std ≤ margin``.
+    """
+
+    sigma_hat: np.ndarray
+    k_hat: np.ndarray
+    tau: np.ndarray
+    margin: float
+    score_std: float
+    reliable: bool
+
+
+def threshold_decode(
+    stats: DesignStats,
+    *,
+    noise: Optional[NoiseModel] = None,
+    repeats: int = 1,
+    z: float = 3.0,
+) -> ThresholdDecodeResult:
+    """Classify entries by score threshold instead of a top-``k`` cut.
+
+    With hit rate ``q = Γ/n``, the MN score of a zero entry concentrates
+    at ``μ₀ = Δ̄*·k̂·(q − ½)`` (exactly 0 for the paper's ``Γ = n/2``) and
+    a one entry ``q·(m − Δ̄*)`` above it; the classifier declares one
+    wherever the score clears the midpoint.  Unlike :meth:`MNDecoder.decode
+    <repro.core.mn.MNDecoder.decode>` this needs no weight input — the
+    score centring uses the method-of-moments ``k̂`` from the same
+    observations — and therefore no calibration query to corrupt.
+    Mean-shrinking channels (dropout) scale the class gap by ``1 − q_d``;
+    the ``k̂``-dependent part self-corrects because ``k̂`` shrinks with
+    the observations it is estimated from.
+
+    Batch-aware: batched stats are decoded row-wise with per-row ``k̂``
+    (and hence per-row cutoffs).
+
+    With ``noise`` given, the result's ``reliable`` flag applies the
+    ``z``-sigma rule to the decision margin; without it the channel is
+    assumed exact.
+    """
+    repeats = check_positive_int(repeats, "repeats")
+    if not (z > 0):
+        raise ValueError("z must be positive")
+    if stats.m < 1 or stats.gamma < 1:
+        raise ValueError("need at least one non-empty query")
+
+    y = np.asarray(stats.y, dtype=np.float64)
+    k_hat = (stats.n / stats.gamma) * y.mean(axis=-1)
+    q = float(stats.gamma) / stats.n
+    dbar = float(stats.dstar.mean())
+    margin = mean_shrinkage(noise) * q * (stats.m - dbar) / 2.0
+    mu0 = dbar * k_hat * (q - 0.5)
+    tau = mu0 + margin
+
+    if stats.batch is None:
+        scores = stats.psi.astype(np.float64) - stats.dstar.astype(np.float64) * (k_hat / 2.0)
+        sigma_hat = (scores >= tau).astype(np.int8)
+    else:
+        scores = stats.psi.astype(np.float64) - stats.dstar.astype(np.float64)[None, :] * (k_hat[:, None] / 2.0)
+        sigma_hat = (scores >= tau[:, None]).astype(np.int8)
+
+    score_std = 0.0 if noise is None else score_noise_std(stats, noise, repeats)
+    return ThresholdDecodeResult(
+        sigma_hat=sigma_hat,
+        k_hat=np.asarray(k_hat),
+        tau=np.asarray(tau),
+        margin=float(margin),
+        score_std=score_std,
+        reliable=bool(z * score_std <= margin),
+    )

@@ -11,6 +11,7 @@ import pytest
 
 MODULES_WITH_DOCTESTS = [
     "repro",
+    "repro.noise.models",
     "repro.rng.mt19937",
     "repro.parallel.partition",
 ]
