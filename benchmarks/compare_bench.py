@@ -34,7 +34,11 @@ def load_medians(directory: "str | Path") -> "dict[str, float]":
 
     Unreadable or malformed files are skipped with a warning rather than
     failing the gate — a corrupt baseline must never block CI, it just
-    loses coverage for its keys.
+    loses coverage for its keys.  Robustness is *per record*: one
+    malformed record (missing/non-numeric ``median_s``, e.g. an
+    informational record carrying only derived metrics like
+    ``speedup_x``) drops only itself, never its whole file, so new
+    benchmark-record shapes can land without touching the gate.
     """
     medians: "dict[str, float]" = {}
     directory = Path(directory)
@@ -44,10 +48,15 @@ def load_medians(directory: "str | Path") -> "dict[str, float]":
         try:
             payload = json.loads(path.read_text())
             bench = payload["bench"]
-            for record in payload["results"]:
-                medians[f"{bench}::{record['test']}"] = float(record["median_s"])
+            records = payload["results"]
         except (ValueError, KeyError, TypeError) as exc:
             print(f"warning: skipping malformed {path.name}: {exc}", file=sys.stderr)
+            continue
+        for record in records:
+            try:
+                medians[f"{bench}::{record['test']}"] = float(record["median_s"])
+            except (ValueError, KeyError, TypeError) as exc:
+                print(f"warning: skipping malformed record in {path.name}: {exc}", file=sys.stderr)
     return medians
 
 

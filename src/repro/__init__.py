@@ -59,6 +59,7 @@ Package map
 -----------
 ``repro.core``        model, MN decoder, thresholds, exhaustive decoder
 ``repro.engine``      execution backends + batched multi-signal engine
+``repro.kernels``     dispatchable hot kernels: dense blocks + BLAS vs legacy
 ``repro.noise``       noisy channels: models, keyed streams, robust decoding
 ``repro.rng``         MT19937-64 (paper parity) + deterministic substreams
 ``repro.parallel``    shared-memory worker pool, sort/matvec primitives
@@ -110,6 +111,7 @@ from repro.engine import (
     run_trial_grid,
     signals_oracle,
 )
+from repro.kernels import available_kernels
 from repro.machine import SimulatedLab
 from repro.noise import (
     DropoutNoise,
@@ -121,7 +123,7 @@ from repro.noise import (
 )
 from repro.parallel import WorkerPool
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "GAMMA",
@@ -138,6 +140,7 @@ __all__ = [
     "save_design",
     "SimulatedLab",
     "WorkerPool",
+    "available_kernels",
     "Backend",
     "SerialBackend",
     "SharedMemBackend",

@@ -48,6 +48,8 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
+from repro.kernels import dispatch as dispatch_kernel
+from repro.kernels import resolve_kernel
 from repro.parallel.matvec import CSRMatrix
 from repro.parallel.partition import chunk_count
 from repro.parallel.pool import WorkerPool
@@ -169,6 +171,8 @@ class PoolingDesign:
         if self.entries.size and (self.entries.min() < 0 or self.entries.max() >= n):
             raise ValueError("entry index out of range")
         self._distinct_cache: "tuple[np.ndarray, np.ndarray] | None" = None
+        self._entry_groups_cache: "tuple[np.ndarray, np.ndarray, np.ndarray] | None" = None
+        self._dstar_cache: "np.ndarray | None" = None
 
     # -- constructors ---------------------------------------------------------
 
@@ -253,19 +257,21 @@ class PoolingDesign:
 
     # -- queries ------------------------------------------------------------------
 
-    def query_results(self, sigma: np.ndarray) -> np.ndarray:
+    def query_results(self, sigma: np.ndarray, *, kernel: "str | None" = None) -> np.ndarray:
         """Additive results ``y``; multiplicities counted (paper §II).
 
         ``sigma`` may be one signal ``(n,)`` (returns ``(m,)``) or a batch
         ``(B, n)`` sharing this design (returns ``(B, m)``); row ``b`` of
         the batched result is bit-identical to the single-signal call on
-        ``sigma[b]``.  The batch validates once; the gather kernel runs
-        per row to keep peak memory at ``O(nnz)`` instead of ``O(nnz·B)``.
+        ``sigma[b]``.  The batch validates once and evaluates through the
+        selected kernel (see :mod:`repro.kernels`): the dense kernel runs
+        chunked whole-batch gathers, the legacy one a per-row loop — both
+        bit-identical.
         """
         sigma = np.asarray(sigma)
         if sigma.ndim == 2:
             batch = check_binary_batch(sigma, length=self.n)
-            return np.stack([self._query_results_kernel(batch[b]) for b in range(batch.shape[0])])
+            return dispatch_kernel(kernel).query_results_batch(self, batch)
         return self._query_results_kernel(check_binary_signal(sigma, length=self.n))
 
     def _query_results_kernel(self, sigma: np.ndarray) -> np.ndarray:
@@ -295,10 +301,12 @@ class PoolingDesign:
     def _distinct_pairs(self) -> "tuple[np.ndarray, np.ndarray]":
         """Deduplicated ``(query, entry)`` incidence pairs, cached.
 
-        Pairs come out in ``(query, entry)``-ascending order.  Shared by
-        :meth:`dstar` and :meth:`psi` — and reused across every signal of a
-        batch, which is where the batched engine's first-stage amortisation
-        comes from.
+        Pairs come out in ``(query, entry)``-ascending order.  The backing
+        structure of the *legacy* kernel's :meth:`dstar` and :meth:`psi`
+        paths — reused across every signal of a batch, which is where the
+        batched engine's first-stage amortisation comes from.  The dense
+        kernel never materialises pairs; it scatters into incidence
+        blocks instead (:mod:`repro.kernels.dense`).
 
         Regular designs dedup with a per-pool sort (``m`` small sorts of
         ``Γ``), which is several times faster than the ragged fallback's
@@ -323,48 +331,56 @@ class PoolingDesign:
         """``Δ_i``: number of occupied query slots per entry (multiplicity)."""
         return np.bincount(self.entries, minlength=self.n).astype(np.int64)
 
-    def dstar(self) -> np.ndarray:
-        """``Δ*_i``: number of *distinct* queries containing each entry."""
-        _, dent = self._distinct_pairs()
-        return np.bincount(dent, minlength=self.n).astype(np.int64)
+    def dstar(self, *, kernel: "str | None" = None) -> np.ndarray:
+        """``Δ*_i``: number of *distinct* queries containing each entry.
 
-    def psi(self, y: np.ndarray) -> np.ndarray:
+        A property of the design, computed once through the selected
+        kernel and cached; callers must treat the returned array as
+        read-only.  Both kernels produce bit-identical counts, so the
+        cache is kernel-agnostic.
+        """
+        if self._dstar_cache is None:
+            self._dstar_cache = dispatch_kernel(kernel).materialised_dstar(self)
+        return self._dstar_cache
+
+    def psi(self, y: np.ndarray, *, kernel: "str | None" = None) -> np.ndarray:
         """``Ψ_i = Σ_{j ∈ ∂*x_i} y_j`` — distinct queries counted once.
 
         ``y`` may be ``(m,)`` (returns ``(n,)``) or a batch ``(B, m)``
-        (returns ``(B, n)``); the design's deduplicated incidence pairs are
-        computed once and reused for every row.
+        (returns ``(B, n)``).  The dense kernel computes all rows in one
+        chunked GEMM against the scattered incidence block (and fills the
+        ``Δ*`` cache from the same pass); the legacy kernel reuses the
+        sort-deduplicated pair list per row.  Accumulation is
+        integer-exact under both kernels.
         """
         y = np.asarray(y, dtype=np.int64)
-        drow, dent = self._distinct_pairs()
         if y.ndim == 2:
             if y.shape[1] != self.m or y.shape[0] < 1:
                 raise ValueError(f"batched y must have shape (B, m={self.m})")
-            # Pairs are grouped by query, so the per-signal weight vector is
-            # a repeat (sequential write) instead of a 3M-way gather.
-            pairs_per_query = np.bincount(drow, minlength=self.m)
-            out = np.empty((y.shape[0], self.n), dtype=np.int64)
-            for b in range(y.shape[0]):
-                weights = np.repeat(y[b].astype(np.float64), pairs_per_query)
-                out[b] = np.bincount(dent, weights=weights, minlength=self.n).astype(np.int64)
-            return out
-        if y.shape != (self.m,):
-            raise ValueError(f"y must have length m={self.m}")
-        return np.bincount(dent, weights=y[drow].astype(np.float64), minlength=self.n).astype(np.int64)
+            y2 = y
+        else:
+            if y.shape != (self.m,):
+                raise ValueError(f"y must have length m={self.m}")
+            y2 = y[None, :]
+        psi, dstar = dispatch_kernel(kernel).materialised_psi(self, y2, with_dstar=self._dstar_cache is None)
+        if dstar is not None:
+            self._dstar_cache = dstar
+        return psi if y.ndim == 2 else psi[0]
 
-    def stats(self, sigma: np.ndarray) -> DesignStats:
+    def stats(self, sigma: np.ndarray, *, kernel: "str | None" = None) -> DesignStats:
         """All MN inputs computed from the materialised design.
 
         ``sigma`` may be one signal ``(n,)`` or a batch ``(B, n)``; the
         batched form evaluates all ``B`` signals against this one design
         (``y``/``psi`` gain a leading batch axis, ``dstar``/``delta`` stay
-        shared).
+        shared).  ``kernel`` selects the execution kernel
+        (:mod:`repro.kernels`); the result is bit-identical either way.
         """
-        y = self.query_results(sigma)
+        y = self.query_results(sigma, kernel=kernel)
         return DesignStats(
             y=y,
-            psi=self.psi(y),
-            dstar=self.dstar(),
+            psi=self.psi(y, kernel=kernel),
+            dstar=self.dstar(kernel=kernel),
             delta=self.delta(),
             n=self.n,
             m=self.m,
@@ -375,51 +391,31 @@ class PoolingDesign:
 # -- streaming path ------------------------------------------------------------------
 
 
-def _noisy_batch_stats(edges, sigma, n, noise, noise_rng):
-    """Per-batch core: results + Ψ/Δ*/Δ contributions of a block of queries.
-
-    ``edges`` is ``(B, Γ)`` entry indices with replacement.  Distinctness is
-    resolved by sorting each row and masking repeats — the standard
-    vectorised dedup that keeps everything inside NumPy.
-
-    With ``noise`` given, results are corrupted *before* the Ψ
-    accumulation, so every downstream statistic sees only the corrupted
-    world — mirroring the materialised path
-    (:func:`repro.noise.trial.run_noisy_mn_trial`).  The corruption stream
-    is keyed per logical query batch, which keeps the library's invariant:
-    for a fixed ``batch_queries`` the noisy statistics are bit-identical
-    for any worker count.
-    """
-    y = sigma[edges].astype(np.int64).sum(axis=1)
-    if noise is not None:
-        y = noise.corrupt(y, noise_rng)
-    sorted_edges = np.sort(edges, axis=1)
-    first = np.empty(sorted_edges.shape, dtype=bool)
-    first[:, 0] = True
-    first[:, 1:] = sorted_edges[:, 1:] != sorted_edges[:, :-1]
-    row_of = np.nonzero(first)[0]
-    distinct_entries = sorted_edges[first]
-    psi = np.bincount(distinct_entries, weights=y[row_of].astype(np.float64), minlength=n)
-    dstar = np.bincount(distinct_entries, minlength=n)
-    delta = np.bincount(edges.ravel(), minlength=n)
-    return y, psi.astype(np.int64), dstar.astype(np.int64), delta.astype(np.int64)
-
-
 def _stream_task(payload, cache):
     """Worker task: generate and evaluate one batch of queries.
 
     The ground truth crosses the process boundary once via shared memory;
     the batch RNG (and the optional corruption RNG) are derived from
-    logical indices only.
+    logical indices only.  The kernel name travels with the payload so
+    workers execute the same kernel the parent resolved; each worker
+    caches one reusable kernel workspace.
     """
-    (batch_idx, lo, hi, n, gamma, root_seed, trial_key, sigma_desc, noise) = payload
+    (batch_idx, lo, hi, n, gamma, root_seed, trial_key, sigma_desc, noise, kernel_name) = payload
     if sigma_desc.name not in cache:
         cache[sigma_desc.name] = SharedArray.attach(sigma_desc)
     sigma = cache[sigma_desc.name].array
+    kern = dispatch_kernel(kernel_name)
+    ws_key = ("stream-workspace", kernel_name)
+    if ws_key not in cache:
+        cache[ws_key] = kern.make_stream_workspace()
     rng = StreamFamily(root_seed).generator(*trial_key, batch_idx)
     edges = rng.integers(0, n, size=(hi - lo, gamma), dtype=np.int64)
     noise_rng = _stream_noise_rng(root_seed, trial_key, batch_idx) if noise is not None else None
-    return (lo, *_noisy_batch_stats(edges, sigma, n, noise, noise_rng))
+    psi = np.zeros(n, dtype=np.int64)
+    dstar = np.zeros(n, dtype=np.int64)
+    delta = np.zeros(n, dtype=np.int64)
+    y = kern.stream_batch(edges, sigma, n, noise, noise_rng, psi, dstar, delta, cache[ws_key])
+    return (lo, y, psi, dstar, delta)
 
 
 def _stream_noise_rng(root_seed: int, trial_key: "tuple[int, ...]", batch_idx: int) -> np.random.Generator:
@@ -442,6 +438,7 @@ def stream_design_stats(
     workers: int = 1,
     backend: "Backend | None" = None,
     noise: "NoiseModel | None" = None,
+    kernel: "str | None" = None,
 ) -> DesignStats:
     """Simulate ``m`` parallel queries and accumulate MN statistics.
 
@@ -479,6 +476,13 @@ def stream_design_stats(
         — so like the design itself, the noisy statistics depend on
         ``batch_queries`` but never on the worker count.  ``None`` is the
         exact channel, bit-identical to the historical behaviour.
+    kernel:
+        Execution kernel for the per-batch statistics
+        (:mod:`repro.kernels`): ``"dense"`` (scatter-dedup + BLAS GEMM) or
+        ``"legacy"`` (sort-based dedup).  Defaults to the backend's
+        ``kernel`` field, then ``REPRO_KERNEL``, then ``"dense"``.  A pure
+        performance knob — kernels are bit-identical on the same sampled
+        edges, so it is *not* part of the design key.
     """
     from repro.engine.backend import resolved_backend
 
@@ -498,6 +502,13 @@ def stream_design_stats(
             hi = min(m, lo + batch_queries)
             batches.append((b, lo, hi))
 
+        # Explicit kernel= wins over the backend's configured kernel; both
+        # resolve through REPRO_KERNEL / the library default.  Resolve to a
+        # concrete name here so worker processes never consult their own
+        # environment.
+        kernel_name = resolve_kernel(kernel if kernel is not None else getattr(exec_backend, "kernel", None))
+        kern = dispatch_kernel(kernel_name)
+
         y = np.zeros(m, dtype=np.int64)
         psi = np.zeros(n, dtype=np.int64)
         dstar = np.zeros(n, dtype=np.int64)
@@ -505,20 +516,19 @@ def stream_design_stats(
 
         if exec_backend.workers == 1:
             family = StreamFamily(root_seed)
+            workspace = kern.make_stream_workspace()
             for b, lo, hi in batches:
                 rng = family.generator(*trial_key, b)
                 edges = rng.integers(0, n, size=(hi - lo, gamma), dtype=np.int64)
                 noise_rng = _stream_noise_rng(root_seed, tuple(trial_key), b) if noise is not None else None
-                yb, psib, dstarb, deltab = _noisy_batch_stats(edges, sigma, n, noise, noise_rng)
-                y[lo:hi] = yb
-                psi += psib
-                dstar += dstarb
-                delta += deltab
+                y[lo:hi] = kern.stream_batch(edges, sigma, n, noise, noise_rng, psi, dstar, delta, workspace)
         else:
             shared_sigma = SharedArray.from_array(sigma)
             try:
                 desc: SharedArrayDescriptor = shared_sigma.descriptor
-                payloads = [(b, lo, hi, n, gamma, root_seed, tuple(trial_key), desc, noise) for b, lo, hi in batches]
+                payloads = [
+                    (b, lo, hi, n, gamma, root_seed, tuple(trial_key), desc, noise, kernel_name) for b, lo, hi in batches
+                ]
                 results = exec_backend.map(_stream_task, payloads)
                 for lo, yb, psib, dstarb, deltab in results:
                     y[lo : lo + yb.size] = yb

@@ -3,8 +3,10 @@
 Historically every parallel entry point in the library grew its own knobs:
 ``pool=`` (an externally managed :class:`~repro.parallel.pool.WorkerPool`),
 ``workers=`` (spawn-my-own process count), ``blocks=`` (logical
-decomposition width for the sort/top-k kernels) and ``batch_queries=``
-(streaming batch size).  A :class:`Backend` bundles all four behind one
+decomposition width for the sort/top-k kernels), ``batch_queries=``
+(streaming batch size) and — since the dense-kernel layer — ``kernel=``
+(the :mod:`repro.kernels` implementation the hot paths run on).  A
+:class:`Backend` bundles all five behind one
 protocol so that callers configure execution once and thread a single
 object through :func:`~repro.core.reconstruction.reconstruct`,
 :func:`~repro.core.mn.run_mn_trial`, :class:`~repro.core.mn.MNDecoder`,
@@ -32,6 +34,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Optional, Protocol, Sequence, runtime_checkable
 
+from repro.kernels import check_kernel
 from repro.parallel.pool import WorkerPool, resolve_workers
 from repro.util.validation import check_positive_int
 
@@ -62,6 +65,12 @@ class Backend(Protocol):
         Any value yields identical output; it controls decomposition only.
     batch_queries:
         Streaming batch size for :func:`~repro.core.design.stream_design_stats`.
+    kernel:
+        Execution-kernel choice for the engine's hot paths
+        (:mod:`repro.kernels`): ``"dense"``, ``"legacy"``, or ``None`` to
+        defer to ``REPRO_KERNEL`` / the library default.  Like ``blocks``
+        it never changes output — kernels are bit-identical — so it is a
+        pure performance knob.
     """
 
     @property
@@ -72,6 +81,9 @@ class Backend(Protocol):
 
     @property
     def batch_queries(self) -> int: ...
+
+    @property
+    def kernel(self) -> "str | None": ...
 
     def map(self, fn: Callable[[Any, dict], Any], payloads: Sequence[Any]) -> "list[Any]":
         """Run ``fn(payload, cache)`` over payloads; results in submission order."""
@@ -90,9 +102,10 @@ class SerialBackend:
     :class:`~repro.parallel.pool.WorkerPool` with a single persistent dict.
     """
 
-    def __init__(self, blocks: int = 1, batch_queries: int = DEFAULT_BATCH_QUERIES):
+    def __init__(self, blocks: int = 1, batch_queries: int = DEFAULT_BATCH_QUERIES, kernel: "str | None" = None):
         self._blocks = check_positive_int(blocks, "blocks")
         self._batch_queries = check_positive_int(batch_queries, "batch_queries")
+        self._kernel = check_kernel(kernel)
         self._cache: dict = {}
 
     @property
@@ -107,6 +120,10 @@ class SerialBackend:
     def batch_queries(self) -> int:
         return self._batch_queries
 
+    @property
+    def kernel(self) -> "str | None":
+        return self._kernel
+
     def map(self, fn: Callable[[Any, dict], Any], payloads: Sequence[Any]) -> "list[Any]":
         return [fn(p, self._cache) for p in payloads]
 
@@ -120,7 +137,7 @@ class SerialBackend:
         self.shutdown()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"SerialBackend(blocks={self._blocks}, batch_queries={self._batch_queries})"
+        return f"SerialBackend(blocks={self._blocks}, batch_queries={self._batch_queries}, kernel={self._kernel!r})"
 
 
 class SharedMemBackend:
@@ -151,6 +168,7 @@ class SharedMemBackend:
         blocks: "int | None" = None,
         batch_queries: int = DEFAULT_BATCH_QUERIES,
         pool: "WorkerPool | None" = None,
+        kernel: "str | None" = None,
     ):
         if pool is not None:
             self._workers = pool.workers
@@ -160,6 +178,7 @@ class SharedMemBackend:
         self._owns_pool = pool is None
         self._blocks = check_positive_int(blocks, "blocks") if blocks is not None else max(1, self._workers)
         self._batch_queries = check_positive_int(batch_queries, "batch_queries")
+        self._kernel = check_kernel(kernel)
         self._closed = False
 
     @property
@@ -173,6 +192,10 @@ class SharedMemBackend:
     @property
     def batch_queries(self) -> int:
         return self._batch_queries
+
+    @property
+    def kernel(self) -> "str | None":
+        return self._kernel
 
     @property
     def pool(self) -> WorkerPool:
@@ -201,7 +224,7 @@ class SharedMemBackend:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"SharedMemBackend(workers={self._workers}, blocks={self._blocks}, "
-            f"batch_queries={self._batch_queries}, owns_pool={self._owns_pool})"
+            f"batch_queries={self._batch_queries}, kernel={self._kernel!r}, owns_pool={self._owns_pool})"
         )
 
 
@@ -212,6 +235,7 @@ def resolve_backend(
     workers: "int | None" = None,
     blocks: "int | None" = None,
     batch_queries: "int | None" = None,
+    kernel: "str | None" = None,
 ) -> "tuple[Backend, bool]":
     """Translate a ``backend=`` argument or the legacy knobs into a backend.
 
@@ -238,11 +262,11 @@ def resolve_backend(
         return backend, False
     bq = DEFAULT_BATCH_QUERIES if batch_queries is None else batch_queries
     if pool is not None:
-        return SharedMemBackend(pool=pool, blocks=blocks, batch_queries=bq), True
+        return SharedMemBackend(pool=pool, blocks=blocks, batch_queries=bq, kernel=kernel), True
     resolved = 1 if workers == 1 else resolve_workers(workers)
     if resolved == 1:
-        return SerialBackend(blocks=blocks if blocks is not None else 1, batch_queries=bq), True
-    return SharedMemBackend(resolved, blocks=blocks, batch_queries=bq), True
+        return SerialBackend(blocks=blocks if blocks is not None else 1, batch_queries=bq, kernel=kernel), True
+    return SharedMemBackend(resolved, blocks=blocks, batch_queries=bq, kernel=kernel), True
 
 
 @contextmanager
@@ -253,6 +277,7 @@ def resolved_backend(
     workers: "int | None" = None,
     blocks: "int | None" = None,
     batch_queries: "int | None" = None,
+    kernel: "str | None" = None,
 ) -> Iterator[Backend]:
     """:func:`resolve_backend` as a context manager.
 
@@ -261,7 +286,7 @@ def resolved_backend(
     explicit ``backend=`` is left untouched for the caller to reuse).
     """
     exec_backend, owned = resolve_backend(
-        backend, pool=pool, workers=workers, blocks=blocks, batch_queries=batch_queries
+        backend, pool=pool, workers=workers, blocks=blocks, batch_queries=batch_queries, kernel=kernel
     )
     try:
         yield exec_backend

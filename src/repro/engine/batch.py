@@ -88,16 +88,21 @@ def signals_oracle(sigmas: np.ndarray) -> BatchQueryOracle:
     Row ``b`` of the returned oracle's output is exactly what the
     single-signal oracle ``lambda pools: [int(sigmas[b][p].sum()) ...]``
     would answer — handy for tests, benchmarks and examples.
+
+    Internally the pool batch is rebuilt as a (ragged) design and
+    evaluated through the batched query kernel
+    (:meth:`~repro.core.design.PoolingDesign.query_results`), so the
+    simulated lab answers at kernel speed instead of one Python-level
+    pool at a time — the values are bit-identical either way.
     """
     sigmas = np.asarray(sigmas)
     if sigmas.ndim != 2:
         raise ValueError("sigmas must have shape (B, n)")
 
     def oracle(pools: Sequence[np.ndarray]) -> np.ndarray:
-        out = np.empty((sigmas.shape[0], len(pools)), dtype=np.int64)
-        for j, p in enumerate(pools):
-            out[:, j] = sigmas[:, np.asarray(p, dtype=np.int64)].astype(np.int64).sum(axis=1)
-        return out
+        if not len(pools):
+            return np.empty((sigmas.shape[0], 0), dtype=np.int64)
+        return PoolingDesign.from_pools(sigmas.shape[1], pools).query_results(sigmas)
 
     return oracle
 
@@ -150,7 +155,8 @@ def reconstruct_batch(
         Parallel decomposition width for the decoder.
     backend:
         Optional :class:`~repro.engine.backend.Backend`; supersedes
-        ``blocks``.
+        ``blocks`` and selects the statistics kernel through its
+        ``kernel`` field (:mod:`repro.kernels`).
     noise:
         Optional :class:`~repro.noise.models.NoiseModel` simulating a noisy
         channel between the oracle and the decoder.  Signal ``b``'s results
@@ -221,10 +227,11 @@ def reconstruct_batch(
     else:
         y = y_reps[0]
 
+    kernel = getattr(backend, "kernel", None)
     stats = DesignStats(
         y=y,
-        psi=design.psi(y),
-        dstar=design.dstar(),
+        psi=design.psi(y, kernel=kernel),
+        dstar=design.dstar(kernel=kernel),
         delta=design.delta(),
         n=n,
         m=m,

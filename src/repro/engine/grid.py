@@ -31,6 +31,7 @@ from repro.core.design import DesignStats, PoolingDesign
 from repro.core.mn import POINT_TRIAL_STRIDE, SIGNAL_STREAM_TAG, MNDecoder
 from repro.core.signal import exact_recovery, overlap_fraction, random_signal, theta_to_k
 from repro.engine.backend import Backend, resolved_backend
+from repro.kernels import resolve_kernel
 from repro.parallel.pool import WorkerPool
 from repro.rng.streams import batch_generator
 from repro.util.validation import check_nonneg_int, check_positive_int
@@ -73,6 +74,7 @@ def run_batched_point(
     blocks: int = 1,
     noise: "NoiseModel | None" = None,
     repeats: int = 1,
+    kernel: "str | None" = None,
 ) -> BatchedPointResult:
     """Run one grid point: ``trials`` signals decoded against one design.
 
@@ -90,8 +92,8 @@ def run_batched_point(
     """
     repeats = check_positive_int(repeats, "repeats")
     design, sigmas, k = _point_first_stage(n, m, theta, k, trials, root_seed, point_id, gamma)
-    y_clean = design.query_results(sigmas)
-    return _decode_noisy_point(design, sigmas, y_clean, k, root_seed, point_id, blocks, noise, repeats)
+    y_clean = design.query_results(sigmas, kernel=kernel)
+    return _decode_noisy_point(design, sigmas, y_clean, k, root_seed, point_id, blocks, noise, repeats, kernel=kernel)
 
 
 def _point_first_stage(
@@ -139,6 +141,7 @@ def _decode_noisy_point(
     blocks: int,
     noise: "NoiseModel | None",
     repeats: int,
+    kernel: "str | None" = None,
 ) -> BatchedPointResult:
     """Corrupt + decode one batched point against precomputed first-stage data.
 
@@ -162,8 +165,8 @@ def _decode_noisy_point(
         y = average_replicas(replicas) if repeats > 1 else replicas[0]
     stats = DesignStats(
         y=y,
-        psi=design.psi(y),
-        dstar=design.dstar(),
+        psi=design.psi(y, kernel=kernel),
+        dstar=design.dstar(kernel=kernel),
         delta=design.delta(),
         n=design.n,
         m=design.m,
@@ -192,6 +195,7 @@ def run_batched_point_sweep(
     gamma: Optional[int] = None,
     blocks: int = 1,
     repeats: int = 1,
+    kernel: "str | None" = None,
 ) -> "list[BatchedPointResult]":
     """One grid point swept over several noise channels, first stage shared.
 
@@ -205,16 +209,16 @@ def run_batched_point_sweep(
     """
     repeats = check_positive_int(repeats, "repeats")
     design, sigmas, k = _point_first_stage(n, m, theta, k, trials, root_seed, point_id, gamma)
-    y_clean = design.query_results(sigmas)
+    y_clean = design.query_results(sigmas, kernel=kernel)
     return [
-        _decode_noisy_point(design, sigmas, y_clean, k, root_seed, point_id, blocks, model, repeats)
+        _decode_noisy_point(design, sigmas, y_clean, k, root_seed, point_id, blocks, model, repeats, kernel=kernel)
         for model in models
     ]
 
 
 def _grid_point_task(payload, cache) -> BatchedPointResult:
     """Module-level worker task (picklable) running one batched grid point."""
-    n, m, theta, k, trials, root_seed, point_id, gamma, blocks, noise, repeats = payload
+    n, m, theta, k, trials, root_seed, point_id, gamma, blocks, noise, repeats, kernel = payload
     return run_batched_point(
         n,
         m,
@@ -227,6 +231,7 @@ def _grid_point_task(payload, cache) -> BatchedPointResult:
         blocks=blocks,
         noise=noise,
         repeats=repeats,
+        kernel=kernel,
     )
 
 
@@ -255,8 +260,11 @@ def run_trial_grid(
     so they cross the process boundary with the payload).
     """
     with resolved_backend(backend, pool=pool, workers=workers) as exec_backend:
+        # Resolve to a concrete kernel name in the parent so workers never
+        # consult their own environment.
+        kernel = resolve_kernel(getattr(exec_backend, "kernel", None))
         payloads = [
-            (n, int(m), theta, k, trials, root_seed, idx, gamma, exec_backend.blocks, noise, repeats)
+            (n, int(m), theta, k, trials, root_seed, idx, gamma, exec_backend.blocks, noise, repeats, kernel)
             for idx, m in enumerate(ms)
         ]
         if exec_backend.workers == 1:

@@ -44,6 +44,35 @@ class TestLoadMedians:
         assert compare_bench.load_medians(base) == {"good::t": 1.0}
         assert "skipping malformed" in capsys.readouterr().err
 
+    def test_malformed_record_drops_only_itself(self, dirs, capsys):
+        """New record shapes (e.g. speedup-only records) must not sink their file."""
+        base, _ = dirs
+        base.mkdir()
+        payload = {
+            "bench": "kernels",
+            "results": [
+                {"test": "test_good", "median_s": 0.5},
+                {"test": "test_speedup_only", "extra": {"speedup_x": 4.2}},  # no median_s
+                {"test": "test_bad_median", "median_s": "n/a"},
+            ],
+        }
+        (base / "BENCH_kernels.json").write_text(json.dumps(payload))
+        assert compare_bench.load_medians(base) == {"kernels::test_good": 0.5}
+        assert "skipping malformed record" in capsys.readouterr().err
+
+    def test_extra_fields_tolerated(self, dirs):
+        """Records carrying extra keys (params, speedup_x, context) load fine."""
+        base, _ = dirs
+        base.mkdir()
+        payload = {
+            "bench": "kernels",
+            "results": [
+                {"test": "t", "median_s": 0.25, "extra": {"speedup_x": 3.9, "n": 10000}, "context": {"python": "3"}}
+            ],
+        }
+        (base / "BENCH_kernels.json").write_text(json.dumps(payload))
+        assert compare_bench.load_medians(base) == {"kernels::t": 0.25}
+
 
 class TestCompare:
     def test_flags_slowdown_beyond_threshold(self):

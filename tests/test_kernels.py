@@ -1,0 +1,250 @@
+"""Dense ↔ legacy kernel parity: the dispatch seam and bit-identity.
+
+The kernel layer (:mod:`repro.kernels`) is a pure performance knob; every
+test here asserts *exact* equality of the integer outputs — the library's
+central reproducibility invariant extended to kernel choice.  Coverage
+follows the seam end to end: streaming statistics (with and without noise,
+serial and multi-worker), materialised designs (regular and ragged),
+batched query evaluation, odd shapes (``B = 1``, last short batch,
+``Γ = 1``), beyond-2⁵³ exactness, and the top-k fast path.
+"""
+
+import numpy as np
+import pytest
+
+from repro import kernels
+from repro.core.design import PoolingDesign, stream_design_stats
+from repro.core.signal import random_signal
+from repro.engine.backend import SerialBackend, SharedMemBackend, resolve_backend
+from repro.engine.batch import reconstruct_batch, signals_oracle
+from repro.noise.models import DropoutNoise, GaussianNoise
+from repro.parallel.sort import parallel_top_k
+
+STATS_FIELDS = ("y", "psi", "dstar", "delta")
+
+
+def assert_stats_equal(a, b, context=""):
+    for field in STATS_FIELDS:
+        left, right = getattr(a, field), getattr(b, field)
+        assert left.dtype == right.dtype, f"{field} dtype mismatch {context}"
+        assert np.array_equal(left, right), f"{field} differs {context}"
+
+
+class TestDispatch:
+    def test_names(self):
+        assert kernels.available_kernels() == ("dense", "legacy")
+        for name in kernels.available_kernels():
+            assert kernels.dispatch(name).NAME == name
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            kernels.dispatch("blas")
+        with pytest.raises(ValueError, match="unknown kernel"):
+            kernels.check_kernel("sparse")
+
+    def test_default_is_dense(self, monkeypatch):
+        monkeypatch.delenv(kernels.KERNEL_ENV, raising=False)
+        assert kernels.resolve_kernel(None) == kernels.DEFAULT_KERNEL == "dense"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "legacy")
+        assert kernels.resolve_kernel(None) == "legacy"
+        # An explicit argument beats the environment.
+        assert kernels.resolve_kernel("dense") == "dense"
+
+    def test_env_invalid_rejected(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV, "fast")
+        with pytest.raises(ValueError, match="REPRO_KERNEL"):
+            kernels.resolve_kernel(None)
+
+    def test_backend_carries_kernel(self):
+        assert SerialBackend().kernel is None
+        assert SerialBackend(kernel="legacy").kernel == "legacy"
+        assert SharedMemBackend(2, kernel="dense").kernel == "dense"
+        with pytest.raises(ValueError, match="unknown kernel"):
+            SerialBackend(kernel="turbo")
+        backend, owned = resolve_backend(workers=1, kernel="legacy")
+        assert owned and backend.kernel == "legacy"
+
+
+class TestStreamParity:
+    """stream_design_stats: dense ↔ legacy bit-identity on the same keys."""
+
+    @pytest.mark.parametrize(
+        "n, m, gamma, batch_queries",
+        [
+            (101, 37, None, 8),  # several batches, last one short
+            (64, 1, None, 256),  # single query => b=1 block
+            (40, 17, 1, 4),  # Γ=1 degenerate pools
+            (30, 9, 45, 9),  # Γ > n: heavy multi-edges
+            (200, 300, None, 256),  # m > batch_queries with short tail
+        ],
+    )
+    def test_noiseless(self, n, m, gamma, batch_queries):
+        sigma = random_signal(n, max(1, n // 8), np.random.default_rng(0))
+        dense = stream_design_stats(sigma, m, root_seed=7, gamma=gamma, batch_queries=batch_queries, kernel="dense")
+        legacy = stream_design_stats(sigma, m, root_seed=7, gamma=gamma, batch_queries=batch_queries, kernel="legacy")
+        assert_stats_equal(dense, legacy, f"(n={n}, m={m}, gamma={gamma}, bq={batch_queries})")
+
+    @pytest.mark.parametrize("noise", [GaussianNoise(1.5), DropoutNoise(0.2)])
+    def test_noisy(self, noise):
+        sigma = random_signal(90, 11, np.random.default_rng(1))
+        dense = stream_design_stats(sigma, 41, root_seed=3, batch_queries=8, noise=noise, kernel="dense")
+        legacy = stream_design_stats(sigma, 41, root_seed=3, batch_queries=8, noise=noise, kernel="legacy")
+        assert_stats_equal(dense, legacy, f"({noise!r})")
+
+    @pytest.mark.parametrize("kernel", ["dense", "legacy"])
+    @pytest.mark.parametrize("noise", [None, GaussianNoise(1.0)])
+    def test_worker_count_invariance(self, kernel, noise):
+        """workers ∈ {1, 2} never changes output, whatever the kernel."""
+        sigma = random_signal(80, 9, np.random.default_rng(2))
+        serial = stream_design_stats(sigma, 33, root_seed=5, batch_queries=8, noise=noise, kernel=kernel)
+        with SharedMemBackend(2, kernel=kernel) as backend:
+            forked = stream_design_stats(sigma, 33, root_seed=5, batch_queries=8, noise=noise, backend=backend)
+        assert_stats_equal(serial, forked, f"(kernel={kernel}, noise={noise!r})")
+
+    def test_backend_kernel_field_is_honoured(self):
+        """An explicit kernel= argument beats the backend's field."""
+        sigma = random_signal(60, 7, np.random.default_rng(3))
+        via_backend = stream_design_stats(sigma, 21, root_seed=1, backend=SerialBackend(kernel="legacy"))
+        explicit = stream_design_stats(sigma, 21, root_seed=1, backend=SerialBackend(kernel="legacy"), kernel="dense")
+        assert_stats_equal(via_backend, explicit)
+
+    def test_reuses_workspace_across_batches(self):
+        """The dense stream loop reuses one scratch block per loop."""
+        from repro.kernels import dense
+
+        ws = dense.make_stream_workspace()
+        block_a = ws.block(4, 50)
+        assert block_a.base is ws.block(4, 50).base  # same backing buffer
+        assert ws.block(2, 50).base is block_a.base  # smaller slice, same buffer
+        assert not ws.block(4, 50).any()  # and it stays all-zero
+
+
+class TestMaterialisedParity:
+    """PoolingDesign.stats / psi / dstar / query_results across kernels."""
+
+    @pytest.fixture
+    def regular(self):
+        rng = np.random.default_rng(4)
+        return PoolingDesign.sample(101, 37, rng)
+
+    @pytest.fixture
+    def ragged(self):
+        # Duplicate draws, an empty pool, Γ=1 pools, and a full pool.
+        pools = [[0, 1, 2, 2, 5], [3], [], [6, 6, 6], [0, 5, 1], list(range(7))]
+        return PoolingDesign.from_pools(7, pools)
+
+    @pytest.mark.parametrize("B", [1, 5])
+    def test_regular_stats(self, regular, B):
+        sigmas = np.stack([random_signal(101, 9, np.random.default_rng(i)) for i in range(B)])
+        fresh = PoolingDesign(regular.n, regular.entries, regular.indptr)  # isolate caches
+        dense = regular.stats(sigmas, kernel="dense")
+        legacy = fresh.stats(sigmas, kernel="legacy")
+        assert_stats_equal(dense, legacy, f"(B={B})")
+
+    def test_single_signal_stats(self, regular):
+        sigma = random_signal(101, 9, np.random.default_rng(0))
+        fresh = PoolingDesign(regular.n, regular.entries, regular.indptr)
+        assert_stats_equal(regular.stats(sigma, kernel="dense"), fresh.stats(sigma, kernel="legacy"))
+
+    def test_ragged_from_pools(self, ragged):
+        fresh = PoolingDesign(ragged.n, ragged.entries, ragged.indptr)
+        y = np.array([3, 1, 0, 2, 4, 7], dtype=np.int64)
+        assert np.array_equal(ragged.psi(y, kernel="dense"), fresh.psi(y, kernel="legacy"))
+        assert np.array_equal(ragged.dstar(kernel="dense"), fresh.dstar(kernel="legacy"))
+        yB = np.stack([y, 2 * y, np.zeros(6, dtype=np.int64)])
+        assert np.array_equal(ragged.psi(yB, kernel="dense"), fresh.psi(yB, kernel="legacy"))
+        sigmas = np.stack([np.array([1, 0, 1, 0, 0, 1, 1], dtype=np.int8)] * 3)
+        assert np.array_equal(
+            ragged.query_results(sigmas, kernel="dense"), fresh.query_results(sigmas, kernel="legacy")
+        )
+
+    def test_batched_query_results_match_single(self, regular):
+        sigmas = np.stack([random_signal(101, 9, np.random.default_rng(i)) for i in range(4)])
+        batched = regular.query_results(sigmas, kernel="dense")
+        for b in range(4):
+            assert np.array_equal(batched[b], regular.query_results(sigmas[b]))
+
+    def test_fig1_example_both_kernels(self):
+        design, sigma = PoolingDesign.fig1_example()
+        expected = np.array([2, 2, 3, 1, 1])
+        for kernel in kernels.available_kernels():
+            fresh, _ = PoolingDesign.fig1_example()
+            y = fresh.query_results(np.stack([sigma]), kernel=kernel)
+            assert np.array_equal(y, expected[None, :])
+        assert np.array_equal(design.query_results(sigma), expected)
+
+    def test_psi_exact_beyond_float53(self, ragged):
+        """Integer accumulation: Ψ must be exact where float64 would round."""
+        big = 2**53 + 1  # not representable in float64
+        y = np.full(ragged.m, big, dtype=np.int64)
+        for kernel in kernels.available_kernels():
+            fresh = PoolingDesign(ragged.n, ragged.entries, ragged.indptr)
+            psi = fresh.psi(y, kernel=kernel)
+            # Entry 4 sits in exactly one query, so Ψ_4 = y of that query.
+            assert psi[4] == big, f"kernel={kernel} rounded Ψ through float64"
+
+    def test_dstar_cache_is_shared_and_consistent(self, regular):
+        d1 = regular.dstar(kernel="dense")
+        assert regular.dstar(kernel="legacy") is d1  # cached, kernel-agnostic
+        fresh = PoolingDesign(regular.n, regular.entries, regular.indptr)
+        assert np.array_equal(fresh.dstar(kernel="legacy"), d1)
+
+
+class TestEndToEndParity:
+    def test_reconstruct_batch_kernels_identical(self):
+        n, m, B = 120, 70, 6
+        sigmas = np.stack([random_signal(n, 5, np.random.default_rng(i)) for i in range(B)])
+        reports = {}
+        for kernel in kernels.available_kernels():
+            reports[kernel] = reconstruct_batch(
+                n,
+                m,
+                signals_oracle(sigmas),
+                B,
+                rng=np.random.default_rng(9),
+                backend=SerialBackend(kernel=kernel),
+            )
+        assert np.array_equal(reports["dense"].sigma_hat, reports["legacy"].sigma_hat)
+        assert np.array_equal(reports["dense"].y, reports["legacy"].y)
+        assert np.array_equal(reports["dense"].k, reports["legacy"].k)
+
+    def test_batched_grid_point_kernels_identical(self):
+        from repro.engine.grid import run_batched_point
+
+        a = run_batched_point(90, 60, theta=0.35, trials=5, root_seed=11, kernel="dense")
+        b = run_batched_point(90, 60, theta=0.35, trials=5, root_seed=11, kernel="legacy")
+        assert np.array_equal(a.success, b.success)
+        assert np.array_equal(a.overlap, b.overlap)
+
+
+class TestTopKFastPath:
+    """blocks == 1 argpartition path selects exactly what the block path does."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_1d_matches_block_path(self, seed):
+        rng = np.random.default_rng(seed)
+        for _ in range(40):
+            n = int(rng.integers(2, 150))
+            k = int(rng.integers(1, n + 1))
+            ties_heavy = rng.random() < 0.5
+            scores = rng.integers(0, 4, size=n) if ties_heavy else rng.standard_normal(n)
+            expected = parallel_top_k(scores, k, blocks=int(rng.integers(2, 6)))
+            assert np.array_equal(parallel_top_k(scores, k, blocks=1), expected)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_batch_matches_block_path(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        for _ in range(25):
+            B = int(rng.integers(1, 6))
+            n = int(rng.integers(2, 90))
+            k = int(rng.integers(1, n + 1))
+            scores = rng.integers(0, 3, size=(B, n))
+            expected = parallel_top_k(scores, k, blocks=3)
+            assert np.array_equal(parallel_top_k(scores, k, blocks=1), expected)
+
+    def test_all_tied(self):
+        scores = np.zeros(10)
+        assert np.array_equal(parallel_top_k(scores, 4, blocks=1), np.arange(4))
+        assert np.array_equal(parallel_top_k(np.zeros((2, 10)), 4, blocks=1), np.tile(np.arange(4), (2, 1)))
