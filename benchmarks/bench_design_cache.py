@@ -1,0 +1,111 @@
+"""Design-cache serving: cold compile+decode vs warm decode-only (tracked).
+
+The compiled-design lifecycle splits every reconstruction into
+sample → compile → decode; a serving process pays compilation once per
+deployed design and then answers decode traffic from the cached artifact.
+This benchmark measures exactly that contract at paper-panel scale
+(``n = 10^4``): the **cold** path compiles the stream-keyed design and
+decodes one result vector; the **warm** path decodes against the already
+compiled (block-resident) artifact.  The measured ratio is recorded in
+``benchmarks/results/BENCH_design_cache.json`` (``extra.speedup_x``); the
+acceptance contract of the lifecycle PR is a >= 5x warm speedup on the
+single-vector record.  The batched record (``B = 64``) tracks the serving
+throughput path (one GEMM + top-k for the whole batch).
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.mn import MNDecoder
+from repro.core.signal import random_signals
+from repro.designs import DesignKey, compile_from_key
+
+N = 10_000
+M = 600
+K = 16
+B = 64
+SEED = 2022
+
+KEY = DesignKey.for_stream(N, M, root_seed=SEED, batch_queries=256)
+
+
+def _observed(batch: int) -> np.ndarray:
+    """Simulated observed results for ``batch`` deployed-signal decodes."""
+    compiled = compile_from_key(KEY)
+    sigmas = random_signals(N, K, batch, np.random.default_rng(7))
+    return compiled.query_results(sigmas)
+
+
+def _cold_decode(y: np.ndarray, rounds: int = 3) -> "tuple[float, np.ndarray]":
+    """Median seconds for compile-from-key + decode, artifact discarded."""
+    times, out = [], None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        compiled = compile_from_key(KEY)
+        decoder = MNDecoder().compile(compiled)
+        out = decoder.decode(y, K) if y.ndim == 1 else decoder.decode_batch(y, K)
+        times.append(time.perf_counter() - t0)
+    return float(np.median(times)), out
+
+
+class TestWarmDecodeSingle:
+    def test_warm_decode_single(self, benchmark, repro_seed):
+        Y = _observed(1)
+        y = Y[0]
+        cold_s, cold_out = _cold_decode(y)
+
+        decoder = MNDecoder().compile(compile_from_key(KEY))
+        decoder.decode(y, K)  # materialise the resident block outside timing
+        warm_out = benchmark(lambda: decoder.decode(y, K))
+        warm_s = benchmark.stats.stats.median
+
+        speedup = cold_s / warm_s
+        benchmark.extra_info.update(
+            {
+                "n": N,
+                "m": M,
+                "k": K,
+                "B": 1,
+                "backend": "serial",
+                "cold_s": round(cold_s, 5),
+                "warm_s": round(warm_s, 5),
+                "speedup_x": round(speedup, 2),
+            }
+        )
+        print(f"\ncold compile+decode {cold_s * 1e3:.1f}ms vs warm decode {warm_s * 1e3:.2f}ms -> {speedup:.1f}x")
+
+        assert np.array_equal(cold_out, warm_out)  # serving never changes results
+        # The lifecycle PR's acceptance contract at n = 10^4.
+        assert speedup >= 5.0
+
+
+class TestWarmDecodeBatched:
+    def test_warm_decode_batched(self, benchmark, repro_seed):
+        Y = _observed(B)
+        cold_s, cold_out = _cold_decode(Y)
+
+        decoder = MNDecoder().compile(compile_from_key(KEY))
+        decoder.decode_batch(Y, K)  # warm the resident block
+        warm_out = benchmark(lambda: decoder.decode_batch(Y, K))
+        warm_s = benchmark.stats.stats.median
+
+        speedup = cold_s / warm_s
+        benchmark.extra_info.update(
+            {
+                "n": N,
+                "m": M,
+                "k": K,
+                "B": B,
+                "backend": "serial",
+                "cold_s": round(cold_s, 5),
+                "warm_s": round(warm_s, 5),
+                "speedup_x": round(speedup, 2),
+            }
+        )
+        print(f"\ncold compile+decode_batch {cold_s * 1e3:.1f}ms vs warm {warm_s * 1e3:.1f}ms -> {speedup:.1f}x")
+
+        assert np.array_equal(cold_out, warm_out)
+        # Batched decodes amortise the per-call GEMM; compilation must still
+        # dominate a cold batch.
+        assert speedup >= 1.5

@@ -58,6 +58,7 @@ True
 Package map
 -----------
 ``repro.core``        model, MN decoder, thresholds, exhaustive decoder
+``repro.designs``     compiled-design lifecycle: compile, cache, serve
 ``repro.engine``      execution backends + batched multi-signal engine
 ``repro.kernels``     dispatchable hot kernels: dense blocks + BLAS vs legacy
 ``repro.noise``       noisy channels: models, keyed streams, robust decoding
@@ -80,6 +81,7 @@ from repro.core import (
     DesignStats,
     decode_with_estimated_k,
     estimate_k,
+    load_compiled_design,
     load_design,
     save_design,
     exact_recovery,
@@ -111,6 +113,14 @@ from repro.engine import (
     run_trial_grid,
     signals_oracle,
 )
+from repro.designs import (
+    CompiledDesign,
+    CompiledMNDecoder,
+    DesignCache,
+    DesignKey,
+    compile_design,
+    compile_from_key,
+)
 from repro.kernels import available_kernels
 from repro.machine import SimulatedLab
 from repro.noise import (
@@ -123,7 +133,7 @@ from repro.noise import (
 )
 from repro.parallel import WorkerPool
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "GAMMA",
@@ -137,7 +147,14 @@ __all__ = [
     "decode_with_estimated_k",
     "estimate_k",
     "load_design",
+    "load_compiled_design",
     "save_design",
+    "CompiledDesign",
+    "CompiledMNDecoder",
+    "DesignCache",
+    "DesignKey",
+    "compile_design",
+    "compile_from_key",
     "SimulatedLab",
     "WorkerPool",
     "available_kernels",

@@ -11,7 +11,13 @@ fignoise  noisy-channel robustness phase diagram (§VI extension)
 claims    the §VI in-text claim table
 it        empirical Theorem-2 phase transition (exhaustive)
 thresh    threshold constants table across θ
+design    compiled-design lifecycle: build | info | decode
 ========  =====================================================
+
+The ``design`` group is the deploy-time face of the sample→compile→decode
+lifecycle: ``build`` compiles a stream-keyed design once and persists the
+artifact, ``info`` inspects it, and ``decode`` serves observed result
+vectors against it without ever re-streaming the design.
 
 All sweeps accept ``--trials`` and ``--workers``; defaults are laptop-scale
 (see EXPERIMENTS.md for the paper-scale invocations).
@@ -103,6 +109,26 @@ def build_parser() -> argparse.ArgumentParser:
     pt = sub.add_parser("thresh", help="threshold constants table")
     pt.add_argument("--n", type=int, default=10000)
     pt.add_argument("--thetas", type=float, nargs="+", default=[0.1, 0.2, 0.3, 0.4, 0.5])
+
+    pd = sub.add_parser("design", help="compiled-design lifecycle: build | info | decode")
+    dsub = pd.add_subparsers(dest="design_command", required=True)
+
+    db = dsub.add_parser("build", help="compile a stream-keyed design and persist the artifact")
+    db.add_argument("--n", type=int, required=True, help="signal length")
+    db.add_argument("--m", type=int, required=True, help="number of parallel queries")
+    db.add_argument("--gamma", type=int, default=None, help="pool size (default n // 2)")
+    db.add_argument("--seed", type=int, default=0, help="stream root seed")
+    db.add_argument("--batch-queries", type=int, default=256, help="streaming batch size (part of the design key)")
+    db.add_argument("--out", type=str, required=True, help="output .npz path")
+
+    di = dsub.add_parser("info", help="inspect a persisted design artifact")
+    di.add_argument("path", type=str, help="design .npz file")
+
+    dd = dsub.add_parser("decode", help="decode observed results against a persisted artifact")
+    dd.add_argument("path", type=str, help="design .npz file")
+    dd.add_argument("--k", type=int, required=True, help="signal weight")
+    dd.add_argument("--y-file", type=str, default=None, help="whitespace-separated result counts (default: results stored in the artifact)")
+    dd.add_argument("--blocks", type=int, default=1, help="top-k decomposition width")
 
     return parser
 
@@ -265,6 +291,67 @@ def _cmd_thresh(args) -> int:
     return 0
 
 
+def _design_rows(compiled, y) -> "list[tuple[str, str]]":
+    """The ``design info`` table rows (shared by build and info)."""
+    key = compiled.key
+    return [
+        ("n", str(compiled.n)),
+        ("m", str(compiled.m)),
+        ("gamma", str(compiled.gamma)),
+        ("edges", str(compiled.design.entries.size)),
+        ("scheme", key.scheme),
+        ("key", f"(n={key.n}, m={key.m}, gamma={key.gamma}, root_seed={key.root_seed}, trial_key={key.trial_key}, batch_queries={key.batch_queries})"),
+        ("bytes", str(compiled.nbytes)),
+        ("psi block", "resident" if compiled.block_resident else "recomputed per decode"),
+        ("stored y", "yes" if y is not None else "no"),
+    ]
+
+
+def _cmd_design(args) -> int:
+    from repro.core.serialization import load_compiled_design, save_design
+
+    if args.design_command == "build":
+        from repro.designs import DesignKey, compile_from_key
+
+        key = DesignKey.for_stream(args.n, args.m, root_seed=args.seed, gamma=args.gamma, batch_queries=args.batch_queries)
+        compiled = compile_from_key(key)
+        path = save_design(args.out, compiled)
+        print(f"compiled design written to {path}")
+        print(format_table(["field", "value"], _design_rows(compiled, None)))
+        return 0
+    if args.design_command == "info":
+        compiled, y = load_compiled_design(args.path)
+        print(format_table(["field", "value"], _design_rows(compiled, y)))
+        return 0
+    if args.design_command == "decode":
+        import numpy as np
+
+        from repro.core.mn import MNDecoder
+
+        compiled, y_stored = load_compiled_design(args.path)
+        if args.y_file is not None:
+            try:
+                y = np.loadtxt(args.y_file, dtype=np.int64, ndmin=1)
+            except ValueError as exc:
+                print(f"error: could not parse {args.y_file} as integer counts: {exc}", file=sys.stderr)
+                return 2
+        elif y_stored is not None:
+            y = y_stored
+        else:
+            print("error: the artifact stores no results; pass --y-file", file=sys.stderr)
+            return 2
+        if y.shape != (compiled.m,):
+            print(f"error: expected {compiled.m} result counts, got {y.shape}", file=sys.stderr)
+            return 2
+        decoder = MNDecoder(blocks=args.blocks).compile(compiled)
+        sigma_hat = decoder.decode(y, args.k)
+        support = np.flatnonzero(sigma_hat)
+        print(f"k = {args.k}")
+        print("support:", " ".join(str(int(i)) for i in support))
+        return 0
+    raise AssertionError(f"unhandled design command {args.design_command!r}")
+
+
 def main(argv: "Optional[Sequence[str]]" = None) -> int:
     """Entry point; returns an exit code."""
     args = build_parser().parse_args(argv)
@@ -282,6 +369,8 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
         return _cmd_it(args)
     if args.command == "thresh":
         return _cmd_thresh(args)
+    if args.command == "design":
+        return _cmd_design(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -43,7 +43,7 @@ from repro.core.reconstruction import reconstruct
 from repro.core.diagnostics import diagnose_scores, concentration_event_holds, ScoreDiagnostics
 from repro.core.posterior import exact_posterior, bayes_marginal_decode, PosteriorSummary
 from repro.core.estimate import estimate_k, decode_with_estimated_k, KEstimate
-from repro.core.serialization import save_design, load_design
+from repro.core.serialization import save_design, load_design, load_compiled_design
 from repro.core.populations import PrevalencePopulation, HeapsLawProcess, sampled_signal
 
 __all__ = [
@@ -87,6 +87,7 @@ __all__ = [
     "KEstimate",
     "save_design",
     "load_design",
+    "load_compiled_design",
     "PrevalencePopulation",
     "HeapsLawProcess",
     "sampled_signal",

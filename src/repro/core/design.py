@@ -58,6 +58,8 @@ from repro.rng.streams import StreamFamily
 from repro.util.validation import check_binary_batch, check_binary_signal, check_positive_int
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine builds on core)
+    from repro.designs.cache import DesignCache
+    from repro.designs.compiled import CompiledDesign
     from repro.engine.backend import Backend
     from repro.noise.models import NoiseModel
 
@@ -439,6 +441,8 @@ def stream_design_stats(
     backend: "Backend | None" = None,
     noise: "NoiseModel | None" = None,
     kernel: "str | None" = None,
+    design: "CompiledDesign | None" = None,
+    cache: "DesignCache | None" = None,
 ) -> DesignStats:
     """Simulate ``m`` parallel queries and accumulate MN statistics.
 
@@ -448,6 +452,13 @@ def stream_design_stats(
     with ``workers > 1`` (or the legacy ``pool=``/``workers=`` knobs)
     distributes batches; output is bit-identical to the serial path because
     accumulation happens in batch order in the parent.
+
+    With ``design=`` (a :class:`~repro.designs.compiled.CompiledDesign`
+    whose key matches this call) or a ``cache=`` hit, streaming is skipped
+    entirely: results come from the compiled artifact, ``Δ*``/``Δ`` are
+    precompiled and ``Ψ`` is one GEMM — bit-identical to the streamed
+    statistics, noise included.  On a cache miss the streamed design is
+    compiled and admitted, so the *next* call with this key is free.
 
     Parameters
     ----------
@@ -483,7 +494,17 @@ def stream_design_stats(
         ``kernel`` field, then ``REPRO_KERNEL``, then ``"dense"``.  A pure
         performance knob — kernels are bit-identical on the same sampled
         edges, so it is *not* part of the design key.
+    design:
+        An explicit compiled design to decode against.  Its key must match
+        this call's ``(n, m, gamma, root_seed, trial_key, batch_queries)``
+        — a mismatch raises rather than silently computing statistics for
+        a different design.
+    cache:
+        A :class:`~repro.designs.cache.DesignCache` (or ``None`` to use
+        the ambient ``REPRO_DESIGN_CACHE`` configuration): hits skip
+        streaming, misses stream once and admit the compiled design.
     """
+    from repro.designs.cache import resolve_design_cache
     from repro.engine.backend import resolved_backend
 
     sigma = check_binary_signal(sigma)
@@ -495,6 +516,23 @@ def stream_design_stats(
         if batch_queries is None:
             batch_queries = exec_backend.batch_queries
         batch_queries = check_positive_int(batch_queries, "batch_queries")
+
+        key = None
+        cache_obj = resolve_design_cache(cache)
+        compiled = design
+        if design is not None or cache_obj is not None:
+            from repro.designs.compiled import DesignKey
+
+            key = DesignKey.for_stream(
+                n, m, root_seed=root_seed, trial_key=tuple(trial_key), gamma=gamma, batch_queries=batch_queries
+            )
+            if design is not None:
+                if design.key != key:
+                    raise ValueError(f"design= key {design.key} does not match this call's key {key}")
+            else:
+                compiled = cache_obj.get(key)
+        if compiled is not None:
+            return _stats_from_compiled(compiled, sigma, noise, root_seed, tuple(trial_key), batch_queries, gamma)
 
         batches = []
         for b in range(chunk_count(m, batch_queries)):
@@ -514,6 +552,7 @@ def stream_design_stats(
         dstar = np.zeros(n, dtype=np.int64)
         delta = np.zeros(n, dtype=np.int64)
 
+        collected: "list[np.ndarray] | None" = [] if cache_obj is not None and exec_backend.workers == 1 else None
         if exec_backend.workers == 1:
             family = StreamFamily(root_seed)
             workspace = kern.make_stream_workspace()
@@ -522,6 +561,8 @@ def stream_design_stats(
                 edges = rng.integers(0, n, size=(hi - lo, gamma), dtype=np.int64)
                 noise_rng = _stream_noise_rng(root_seed, tuple(trial_key), b) if noise is not None else None
                 y[lo:hi] = kern.stream_batch(edges, sigma, n, noise, noise_rng, psi, dstar, delta, workspace)
+                if collected is not None:
+                    collected.append(edges.reshape(-1))
         else:
             shared_sigma = SharedArray.from_array(sigma)
             try:
@@ -538,4 +579,48 @@ def stream_design_stats(
             finally:
                 shared_sigma.destroy()
 
+    if cache_obj is not None and key is not None:
+        # Compile-on-miss: the streamed structure (Δ*/Δ already accumulated)
+        # becomes a cached artifact, so the next call with this key skips
+        # streaming entirely.  The worker path never shipped edges back to
+        # the parent, so it regenerates them — RNG draws only, no evaluation.
+        from repro.designs.compiled import CompiledDesign, _stream_entries
+
+        entries = np.concatenate(collected) if collected is not None and collected else _stream_entries(key)
+        indptr = np.arange(m + 1, dtype=np.int64) * gamma
+        # The constructor copies the degree vectors, so the writable arrays
+        # returned in this call's DesignStats stay independent of the cache.
+        cache_obj.put(key, CompiledDesign(PoolingDesign(n, entries, indptr), dstar=dstar, delta=delta, key=key))
+
     return DesignStats(y=y, psi=psi, dstar=dstar, delta=delta, n=n, m=m, gamma=gamma)
+
+
+def _stats_from_compiled(
+    compiled,
+    sigma: np.ndarray,
+    noise: "NoiseModel | None",
+    root_seed: int,
+    trial_key: "tuple[int, ...]",
+    batch_queries: int,
+    gamma: "int | float",
+) -> DesignStats:
+    """Streaming-path statistics computed from a compiled design artifact.
+
+    Bit-identical to the streamed accumulation: ``y`` is the same exact
+    integer vector, per-batch corruption consumes the same keyed streams in
+    the same order, and ``Ψ``/``Δ*``/``Δ`` are integer-exact under every
+    execution layout.  The degree vectors are copied so cached calls return
+    writable arrays exactly like the cold path (callers never alias the
+    artifact through this function).
+    """
+    y = compiled.query_results(sigma)
+    m = compiled.m
+    if noise is not None:
+        y = y.copy()
+        for b in range(chunk_count(m, batch_queries)):
+            lo = b * batch_queries
+            hi = min(m, lo + batch_queries)
+            y[lo:hi] = noise.corrupt(y[lo:hi], _stream_noise_rng(root_seed, trial_key, b))
+    return DesignStats(
+        y=y, psi=compiled.psi(y), dstar=compiled.dstar.copy(), delta=compiled.delta.copy(), n=compiled.n, m=m, gamma=gamma
+    )

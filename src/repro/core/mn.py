@@ -33,6 +33,9 @@ from repro.rng.streams import batch_generator
 from repro.util.validation import check_positive_int, check_weight_vector
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine builds on core)
+    from repro.designs.cache import DesignCache
+    from repro.designs.compiled import CompiledDesign, DesignKey
+    from repro.designs.serving import CompiledMNDecoder
     from repro.engine.backend import Backend
     from repro.noise.models import NoiseModel
 
@@ -126,6 +129,40 @@ class MNDecoder:
         sigma_hat = np.zeros((batch, stats.n), dtype=np.int8)
         sigma_hat[rows, order[:, :kmax][take]] = 1
         return sigma_hat
+
+    def compile(
+        self,
+        design: "CompiledDesign | PoolingDesign | DesignKey",
+        *,
+        cache: "DesignCache | None" = None,
+    ) -> "CompiledMNDecoder":
+        """Bind this decoder to a compiled design for decode-only serving.
+
+        Accepts a ready :class:`~repro.designs.compiled.CompiledDesign`, a
+        materialised :class:`PoolingDesign` (compiled content-addressed), or
+        a :class:`~repro.designs.compiled.DesignKey` (design regenerated
+        from the key).  With ``cache=`` (or the ambient
+        ``REPRO_DESIGN_CACHE``), compilation is looked up / admitted there.
+
+        The returned :class:`~repro.designs.serving.CompiledMNDecoder`
+        exposes ``decode(y, k)`` / ``decode_batch(Y, k)`` — the hot path
+        that skips design sampling and streaming entirely, bit-identical
+        to the one-shot routes.
+        """
+        from repro.designs.cache import resolve_design_cache
+        from repro.designs.compiled import CompiledDesign, DesignKey, compile_design, compile_from_key
+        from repro.designs.serving import CompiledMNDecoder
+
+        cache_obj = resolve_design_cache(cache)
+        if isinstance(design, CompiledDesign):
+            compiled = design
+        elif isinstance(design, DesignKey):
+            compiled = compile_from_key(design, cache=cache_obj)
+        elif isinstance(design, PoolingDesign):
+            compiled = compile_design(design, cache=cache_obj)
+        else:
+            raise TypeError(f"cannot compile a {type(design).__name__}; expected CompiledDesign, PoolingDesign or DesignKey")
+        return CompiledMNDecoder(compiled, self)
 
     def rank_entries(self, stats: DesignStats, k: int) -> np.ndarray:
         """Full score ranking — the literal Lines 7–9 of Algorithm 1.
@@ -230,6 +267,8 @@ def run_mn_trial(
     workers: int = 1,
     backend: "Backend | None" = None,
     noise: "NoiseModel | None" = None,
+    design: "CompiledDesign | None" = None,
+    cache: "DesignCache | None" = None,
 ) -> MNTrialResult:
     """Simulate one full teacher–student round and decode with MN.
 
@@ -248,6 +287,11 @@ def run_mn_trial(
     accumulation (see :func:`~repro.core.design.stream_design_stats`);
     ``calibrate_k`` still hands the decoder the exact weight, matching the
     paper's accounting where the calibration query is separate.
+
+    ``design``/``cache`` forward to
+    :func:`~repro.core.design.stream_design_stats`: a compiled design with
+    this trial's stream key (or a cache hit on it) skips the streaming
+    simulation while producing bit-identical statistics.
 
     Returns
     -------
@@ -273,6 +317,8 @@ def run_mn_trial(
         workers=workers,
         backend=backend,
         noise=noise,
+        design=design,
+        cache=cache,
     )
     k_used = int(sigma.sum()) if calibrate_k else k
     decoder_blocks = backend.blocks if backend is not None else max(1, workers)

@@ -21,6 +21,8 @@ from repro.core.mn import mn_reconstruct
 from repro.util.validation import check_positive_int
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine builds on core)
+    from repro.designs.cache import DesignCache
+    from repro.designs.compiled import CompiledDesign
     from repro.engine.backend import Backend
     from repro.noise.models import NoiseModel
 
@@ -70,6 +72,8 @@ def reconstruct(
     noise_seed: int = 0,
     noise_index: int = 0,
     repeats: int = 1,
+    design: "CompiledDesign | PoolingDesign | None" = None,
+    cache: "DesignCache | None" = None,
 ) -> ReconstructionReport:
     """Recover a k-sparse binary signal through an additive query oracle.
 
@@ -119,6 +123,17 @@ def reconstruct(
         queries (:func:`~repro.core.estimate.robust_calibrate_k`).
         Independent per-query noise shrinks by ``√repeats``; on the exact
         channel averaging is a no-op.
+    design:
+        Deploy-time design reuse: a
+        :class:`~repro.designs.compiled.CompiledDesign` (or a materialised
+        :class:`PoolingDesign`, compiled on the spot) to query instead of
+        sampling a fresh one — ``rng``/``gamma`` are then unused and the
+        decode consumes the precompiled ``Δ*``/``Ψ`` artifacts.  Results
+        are bit-identical to a one-shot call that sampled this same design.
+    cache:
+        A :class:`~repro.designs.cache.DesignCache` used to look up /
+        admit the compiled form of ``design`` (content-addressed), so
+        repeated calls against one deployed design compile it once.
 
     Returns
     -------
@@ -135,7 +150,8 @@ def reconstruct(
     repeats = check_positive_int(repeats, "repeats")
     rng = rng if rng is not None else np.random.default_rng()
 
-    design = PoolingDesign.sample(n, m, rng, gamma=gamma)
+    compiled = _resolve_reconstruct_design(design, cache, n, m)
+    design = compiled.design if compiled is not None else PoolingDesign.sample(n, m, rng, gamma=gamma)
     pools = [design.pool(j) for j in range(design.m)]
     calibrated = k is None
     if calibrated:
@@ -174,5 +190,30 @@ def reconstruct(
     else:
         y = y_reps[0]
 
-    sigma_hat = mn_reconstruct(design, y, k, blocks=blocks, backend=backend)
+    if compiled is not None:
+        # Decode-only: Δ* and the Ψ block come from the compiled artifact —
+        # bit-identical to mn_reconstruct (integer-exact throughout).
+        from repro.core.mn import MNDecoder
+
+        sigma_hat = MNDecoder(blocks=blocks, backend=backend).decode(compiled.stats_for(y), k)
+    else:
+        sigma_hat = mn_reconstruct(design, y, k, blocks=blocks, backend=backend)
     return ReconstructionReport(sigma_hat=sigma_hat, k=k, design=design, y=y, calibrated=calibrated)
+
+
+def _resolve_reconstruct_design(
+    design: "CompiledDesign | PoolingDesign | None",
+    cache: "DesignCache | None",
+    n: int,
+    m: int,
+) -> "CompiledDesign | None":
+    """Validate and compile an explicit ``design=`` argument (``None`` passes through)."""
+    if design is None:
+        return None
+    from repro.designs.cache import resolve_design_cache
+    from repro.designs.compiled import CompiledDesign, compile_design
+
+    compiled = design if isinstance(design, CompiledDesign) else compile_design(design, cache=resolve_design_cache(cache))
+    if compiled.n != n or compiled.m != m:
+        raise ValueError(f"design= has (n={compiled.n}, m={compiled.m}); this call asked for (n={n}, m={m})")
+    return compiled

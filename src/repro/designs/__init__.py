@@ -1,0 +1,53 @@
+"""The compiled-design lifecycle: **sample → compile → decode**.
+
+This package turns the pooling design into a first-class deployable
+artifact.  The paper's structure — one signal-independent design, one
+round of parallel queries, then reconstruction — means everything the MN
+decoder needs besides the observed results can be *compiled* ahead of
+time and reused across calls, batches and processes:
+
+* :mod:`repro.designs.compiled` — :class:`DesignKey` (the content address:
+  ``(n, m, gamma, root_seed, trial_key, batch_queries)``) and
+  :class:`CompiledDesign` (entries/indptr + precomputed ``Δ*``/``Δ`` + the
+  resident dense ``Ψ`` block);
+* :mod:`repro.designs.cache` — :class:`DesignCache`, the byte-budgeted LRU
+  with hit/miss counters (ambient opt-in via ``REPRO_DESIGN_CACHE=1``);
+* :mod:`repro.designs.sharing` — shared-memory residency so
+  :class:`~repro.engine.backend.SharedMemBackend` workers attach to a
+  compiled design zero-copy instead of re-deriving state per task;
+* :mod:`repro.designs.serving` — :class:`CompiledMNDecoder`, the
+  decode-only hot path behind ``MNDecoder.compile(...)``.
+
+Layering: ``core`` → ``designs`` → ``engine``/``experiments``/``cli``.
+Core entry points accept ``design=``/``cache=`` and import this package
+lazily, so the one-shot paths never pay for it.
+"""
+
+from repro.designs.cache import (
+    DESIGN_CACHE_ENV,
+    CacheStats,
+    DesignCache,
+    default_design_cache,
+    reset_default_design_cache,
+    resolve_design_cache,
+)
+from repro.designs.compiled import CompiledDesign, DesignKey, compile_design, compile_from_key
+from repro.designs.serving import CompiledMNDecoder
+from repro.designs.sharing import CompiledDesignDescriptor, SharedCompiledDesign, attach_compiled
+
+__all__ = [
+    "DesignKey",
+    "CompiledDesign",
+    "compile_design",
+    "compile_from_key",
+    "DesignCache",
+    "CacheStats",
+    "resolve_design_cache",
+    "default_design_cache",
+    "reset_default_design_cache",
+    "DESIGN_CACHE_ENV",
+    "CompiledMNDecoder",
+    "SharedCompiledDesign",
+    "CompiledDesignDescriptor",
+    "attach_compiled",
+]

@@ -1,0 +1,210 @@
+"""The in-process, content-addressed compiled-design cache.
+
+A production deployment serves heavy decode traffic against a *small* set
+of deployed designs, so compilation (edge regeneration, degree vectors,
+the dense ``Ψ`` block) should be paid once per design per process — not
+once per call.  :class:`DesignCache` is a byte-budgeted LRU keyed by
+:class:`~repro.designs.compiled.DesignKey`: equal keys address bit-identical
+designs, so a hit can *never* change results, only skip work.
+
+Entry points take an explicit ``cache=``; the ambient default
+(:func:`resolve_design_cache`) is **off** unless the process opts in via
+``REPRO_DESIGN_CACHE=1`` — keeping memory behaviour predictable for
+library users while letting a serving process flip every call site to
+cached compilation with one environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.designs.compiled import CompiledDesign, DesignKey
+
+__all__ = [
+    "DesignCache",
+    "CacheStats",
+    "resolve_design_cache",
+    "default_design_cache",
+    "reset_default_design_cache",
+    "DESIGN_CACHE_ENV",
+    "DEFAULT_CACHE_BYTES",
+]
+
+#: Environment variable enabling the ambient process-wide cache:
+#: ``1``/``on``/``true`` enable it, anything else (or unset) leaves the
+#: ambient cache off.  Explicit ``cache=`` arguments always win.
+DESIGN_CACHE_ENV = "REPRO_DESIGN_CACHE"
+
+#: Default byte budget — comfortably holds a handful of ``n = 10^4``-scale
+#: compiled designs with their dense blocks resident.
+DEFAULT_CACHE_BYTES = 512 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counters snapshot: lookups, admissions and evictions since creation."""
+
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    nbytes: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (``0.0`` before the first lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class DesignCache:
+    """LRU-by-bytes cache of :class:`CompiledDesign` artifacts.
+
+    Thread-safe; all operations are O(1) amortised.  An artifact larger
+    than the whole budget is returned to the caller but never admitted
+    (it would immediately evict everything else for a single-use entry).
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES):
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[DesignKey, CompiledDesign]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._inflight: "dict[DesignKey, threading.Event]" = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # -- lookups ----------------------------------------------------------------
+
+    def get(self, key: DesignKey) -> "CompiledDesign | None":
+        """The cached artifact for ``key`` (refreshing its recency), or ``None``."""
+        with self._lock:
+            compiled = self._entries.get(key)
+            if compiled is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return compiled
+
+    def get_or_compile(self, key: DesignKey, factory: Callable[[], CompiledDesign]) -> CompiledDesign:
+        """``get(key)`` or compile-and-admit via ``factory`` on a miss.
+
+        Cold keys are compiled by exactly one thread: concurrent callers on
+        the same key wait for the leader's admission instead of racing the
+        (expensive) factory — no thundering herd on deploy.  If the leader
+        fails or its artifact is refused admission (oversized), each waiter
+        retries, so progress is never blocked on another thread's outcome.
+        """
+        while True:
+            compiled = self.get(key)
+            if compiled is not None:
+                return compiled
+            with self._lock:
+                event = self._inflight.get(key)
+                leader = event is None
+                if leader:
+                    event = self._inflight[key] = threading.Event()
+            if not leader:
+                event.wait()
+                continue  # re-check: leader admitted, failed, or was refused
+            try:
+                compiled = factory()
+                if compiled.key != key:
+                    raise ValueError(f"factory produced key {compiled.key}, expected {key}")
+                self.put(key, compiled)
+                return compiled
+            finally:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                event.set()
+
+    # -- admission --------------------------------------------------------------
+
+    def put(self, key: DesignKey, compiled: CompiledDesign) -> None:
+        """Admit an artifact, evicting least-recently-used entries to fit."""
+        if compiled.key != key:
+            raise ValueError(f"artifact key {compiled.key} does not match cache key {key}")
+        if compiled.nbytes > self.max_bytes:
+            return  # oversized: serving it is fine, pinning it is not
+        with self._lock:
+            self._entries[key] = compiled
+            self._entries.move_to_end(key)
+            total = sum(c.nbytes for c in self._entries.values())
+            while total > self.max_bytes and len(self._entries) > 1:
+                _, evicted = self._entries.popitem(last=False)
+                total -= evicted.nbytes
+                self._evictions += 1
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Accounted bytes currently resident."""
+        with self._lock:
+            return sum(c.nbytes for c in self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: DesignKey) -> bool:
+        return key in self._entries
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                entries=len(self._entries),
+                nbytes=sum(c.nbytes for c in self._entries.values()),
+            )
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they describe the lifetime)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats
+        return f"DesignCache(entries={s.entries}, nbytes={s.nbytes}, hits={s.hits}, misses={s.misses}, evictions={s.evictions})"
+
+
+_default_cache: "DesignCache | None" = None
+_default_lock = threading.Lock()
+
+
+def default_design_cache() -> DesignCache:
+    """The lazily created process-wide cache (created on first use)."""
+    global _default_cache
+    with _default_lock:
+        if _default_cache is None:
+            _default_cache = DesignCache()
+        return _default_cache
+
+
+def resolve_design_cache(cache: "DesignCache | None" = None) -> "DesignCache | None":
+    """Resolve a ``cache=`` argument against the ambient configuration.
+
+    An explicit cache wins; otherwise the process-wide cache is returned
+    when ``REPRO_DESIGN_CACHE`` opts in, else ``None`` (no caching).
+    """
+    if cache is not None:
+        return cache
+    if os.environ.get(DESIGN_CACHE_ENV, "").strip().lower() in ("1", "on", "true", "yes"):
+        return default_design_cache()
+    return None
+
+
+def reset_default_design_cache() -> None:
+    """Drop the process-wide cache (tests re-keying the environment use this)."""
+    global _default_cache
+    with _default_lock:
+        _default_cache = None

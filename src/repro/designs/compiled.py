@@ -1,0 +1,346 @@
+"""The compiled-design artifact: sample → **compile** → decode.
+
+The paper's setting is one fixed round of parallel pooled queries against a
+design, then reconstruction.  Historically the codebase was trial-shaped:
+every ``reconstruct``/``reconstruct_batch`` call re-sampled its design,
+re-streamed the ``Δ*``/``Ψ`` denominators, and re-derived dense incidence
+blocks.  This module splits that lifecycle into three explicit stages with
+a reusable artifact between them:
+
+1. **sample** — draw (or stream-key, or hand-build) a
+   :class:`~repro.core.design.PoolingDesign`;
+2. **compile** — precompute everything signal-independent once:
+   ``Δ*`` (distinct-query degrees), ``Δ`` (slot degrees), and the dense
+   incidence block the ``Ψ`` GEMM runs against — producing an immutable
+   :class:`CompiledDesign` addressed by a :class:`DesignKey`;
+3. **decode** — serve any number of result vectors against the artifact
+   (:mod:`repro.designs.serving`), paying only the ``Ψ`` GEMM + top-k.
+
+Every compiled quantity is integer-exact, so decoding through a compiled
+design is **bit-identical** to the historical one-shot paths — asserted by
+the test suite for the serial and shared-memory backends, with and without
+noise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.core.design import DesignStats, PoolingDesign, default_gamma
+from repro.parallel.partition import chunk_count
+from repro.rng.streams import StreamFamily, batch_generator
+from repro.util.validation import check_nonneg_int, check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.designs.cache import DesignCache
+
+__all__ = ["DesignKey", "CompiledDesign", "compile_design", "compile_from_key", "BLOCK_RESIDENCY_LIMIT"]
+
+#: Largest dense incidence block (float64 ``(m, n)``) a compiled design will
+#: keep resident, in bytes.  Beyond this, ``psi`` falls back to the chunked
+#: kernel path (same values, recomputed scatter) instead of pinning gigabytes.
+BLOCK_RESIDENCY_LIMIT = 256 * 1024 * 1024
+
+#: Conservative bound under which float64 integer accumulation is exact
+#: (mirrors :data:`repro.kernels.dense._EXACT_LIMIT`).
+_EXACT_LIMIT = float(2**52)
+
+#: ``trial_key`` scheme tags for keys whose designs are *sampled* from a
+#: keyed generator (grid points) or *content-addressed* (hand-built designs)
+#: rather than streamed batch-by-batch.  String tags can never collide with
+#: the pure-int trial keys of the streaming scheme.
+SAMPLED_SCHEME = "sampled"
+CONTENT_SCHEME = "sha256"
+
+
+@dataclass(frozen=True)
+class DesignKey:
+    """Content address of a compiled design: ``(n, m, gamma, root_seed, trial_key, batch_queries)``.
+
+    Two designs with equal keys hold bit-identical edge sets, which is what
+    makes the key safe to cache on:
+
+    * **streamed** designs (:meth:`for_stream`) are regenerated batch-by-batch
+      from ``(root_seed, *trial_key, batch)`` streams, so the key *is* the
+      content — ``batch_queries`` is part of it because streams are keyed per
+      batch (the library's design-key invariant);
+    * **sampled** designs (:meth:`for_sampled`) come from one keyed generator
+      (grid points; ``batch_queries`` is recorded as ``0``);
+    * **hand-built** designs (:meth:`for_content`) are addressed by a SHA-256
+      digest of their edge structure.
+    """
+
+    n: int
+    m: int
+    gamma: "int | float"
+    root_seed: int
+    trial_key: "tuple[int | str, ...]"
+    batch_queries: int
+
+    @classmethod
+    def for_stream(
+        cls,
+        n: int,
+        m: int,
+        *,
+        root_seed: int,
+        trial_key: "tuple[int, ...]" = (),
+        gamma: Optional[int] = None,
+        batch_queries: int = 256,
+    ) -> "DesignKey":
+        """The key of :func:`~repro.core.design.stream_design_stats`'s design."""
+        n = check_positive_int(n, "n")
+        m = check_positive_int(m, "m")
+        gamma = default_gamma(n) if gamma is None else check_positive_int(gamma, "gamma")
+        check_nonneg_int(root_seed, "root_seed")
+        batch_queries = check_positive_int(batch_queries, "batch_queries")
+        return cls(n=n, m=m, gamma=gamma, root_seed=root_seed, trial_key=tuple(int(t) for t in trial_key), batch_queries=batch_queries)
+
+    @classmethod
+    def for_sampled(cls, n: int, m: int, *, root_seed: int, tag: int, index: int, gamma: Optional[int] = None) -> "DesignKey":
+        """The key of a design drawn whole from ``batch_generator(root_seed, tag, index)``."""
+        n = check_positive_int(n, "n")
+        m = check_positive_int(m, "m")
+        gamma = default_gamma(n) if gamma is None else check_positive_int(gamma, "gamma")
+        return cls(n=n, m=m, gamma=gamma, root_seed=root_seed, trial_key=(SAMPLED_SCHEME, int(tag), int(index)), batch_queries=0)
+
+    @classmethod
+    def for_content(cls, design: PoolingDesign) -> "DesignKey":
+        """Content address of an arbitrary (possibly ragged) materialised design."""
+        digest = hashlib.sha256()
+        digest.update(np.int64(design.n).tobytes())
+        digest.update(np.ascontiguousarray(design.indptr).tobytes())
+        digest.update(np.ascontiguousarray(design.entries).tobytes())
+        return cls(
+            n=design.n,
+            m=design.m,
+            gamma=design.mean_pool_size,
+            root_seed=0,
+            trial_key=(CONTENT_SCHEME, digest.hexdigest()),
+            batch_queries=0,
+        )
+
+    @property
+    def scheme(self) -> str:
+        """How the keyed edges regenerate.
+
+        ``"stream"`` (batch-keyed streams, pure-int ``trial_key``),
+        ``"sampled"`` (one keyed generator), ``"content"`` (SHA-256 of a
+        materialised design) or ``"custom"`` (caller-tagged keys that only
+        regenerate through an explicit factory, e.g. noisy-trial designs).
+        """
+        if self.trial_key and isinstance(self.trial_key[0], str):
+            if self.trial_key[0] == SAMPLED_SCHEME:
+                return "sampled"
+            if self.trial_key[0] == CONTENT_SCHEME:
+                return "content"
+            return "custom"
+        return "stream"
+
+
+class CompiledDesign:
+    """An immutable, decode-ready pooling design.
+
+    Wraps the materialised design together with every signal-independent
+    statistic the MN decoder needs — so repeated decodes pay only the
+    ``Ψ`` product and the top-k selection.  Instances are safe to share
+    across calls and (via :mod:`repro.designs.sharing`) across processes:
+    the compiled arrays are marked read-only.
+
+    Parameters
+    ----------
+    design:
+        The materialised design (entries/indptr CSR layout).
+    dstar, delta:
+        Precomputed ``Δ*``/``Δ`` degree vectors (``(n,)`` int64).  Computed
+        from the design when omitted; copied (then frozen) so the caller's
+        arrays are never mutated behind their back.
+    key:
+        The design's :class:`DesignKey` (content-addressed when omitted).
+    copy:
+        Pass ``False`` to adopt ``dstar``/``delta`` zero-copy — the arrays
+        are then frozen *in place*.  Reserved for owners of the buffers,
+        such as shared-memory attachers wrapping their own segments.
+    """
+
+    def __init__(
+        self,
+        design: PoolingDesign,
+        *,
+        dstar: "np.ndarray | None" = None,
+        delta: "np.ndarray | None" = None,
+        key: "DesignKey | None" = None,
+        copy: bool = True,
+    ):
+        self.design = design
+        self.key = key if key is not None else DesignKey.for_content(design)
+        if self.key.n != design.n or self.key.m != design.m:
+            raise ValueError(f"key ({self.key.n}, {self.key.m}) does not match the design ({design.n}, {design.m})")
+        as_degree = np.array if copy else np.asarray
+        self.dstar = as_degree(design.dstar() if dstar is None else dstar, dtype=np.int64)
+        self.delta = as_degree(design.delta() if delta is None else delta, dtype=np.int64)
+        if self.dstar.shape != (design.n,) or self.delta.shape != (design.n,):
+            raise ValueError("dstar and delta must have length n")
+        self.dstar.setflags(write=False)
+        self.delta.setflags(write=False)
+        self._block: "np.ndarray | None" = None
+        self._block_lock = threading.Lock()
+
+    # -- identity -------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.design.n
+
+    @property
+    def m(self) -> int:
+        return self.design.m
+
+    @property
+    def gamma(self) -> "int | float":
+        """Exact mean pool size (``Γ`` for regular designs)."""
+        return self.design.mean_pool_size
+
+    @property
+    def block_bytes(self) -> int:
+        """Size of the dense incidence block, resident or not."""
+        return 8 * self.m * self.n
+
+    @property
+    def block_resident(self) -> bool:
+        """Whether the dense ``Ψ`` block fits the residency budget."""
+        return self.block_bytes <= BLOCK_RESIDENCY_LIMIT
+
+    @property
+    def nbytes(self) -> int:
+        """Cache-accounting footprint.
+
+        Includes the dense block whenever it is *eligible* for residency —
+        even before first use — so :class:`~repro.designs.cache.DesignCache`
+        budgets are stable under lazy materialisation.
+        """
+        base = self.design.entries.nbytes + self.design.indptr.nbytes + self.dstar.nbytes + self.delta.nbytes
+        return base + (self.block_bytes if self.block_resident else 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CompiledDesign(n={self.n}, m={self.m}, gamma={self.gamma}, scheme={self.key.scheme!r}, nbytes={self.nbytes})"
+
+    # -- decode-side primitives -----------------------------------------------
+
+    def incidence_block(self) -> "np.ndarray | None":
+        """The ``(m, n)`` float64 distinct-incidence block, materialised once.
+
+        ``None`` when the block exceeds :data:`BLOCK_RESIDENCY_LIMIT` — the
+        ``psi`` path then recomputes chunked scatters per call instead.
+        """
+        if not self.block_resident:
+            return None
+        if self._block is None:
+            # Locked: concurrent first decodes against a shared artifact must
+            # not each build (and briefly double-hold) the up-to-256MB block.
+            with self._block_lock:
+                if self._block is None:
+                    design = self.design
+                    block = np.zeros((self.m, self.n), dtype=np.float64)
+                    rows = np.repeat(np.arange(self.m, dtype=np.int64), np.diff(design.indptr))
+                    block[rows, design.entries] = 1.0
+                    block.setflags(write=False)
+                    self._block = block
+        return self._block
+
+    def psi(self, y: np.ndarray) -> np.ndarray:
+        """``Ψ`` for ``(m,)`` or ``(B, m)`` results — one GEMM against the block.
+
+        Bit-identical to :meth:`PoolingDesign.psi` under both kernels: all
+        quantities are integer-exact (guarded by the usual 2⁵² bound with a
+        fallback to the kernel path), so accumulation order cannot matter.
+        """
+        y = np.asarray(y, dtype=np.int64)
+        y2 = y[None, :] if y.ndim == 1 else y
+        if y2.ndim != 2 or y2.shape[1] != self.m or y2.shape[0] < 1:
+            raise ValueError(f"y must have shape (m={self.m},) or (B, m={self.m})")
+        block = self.incidence_block()
+        if block is None or (self.m and float(np.abs(y2).sum(axis=1, dtype=np.float64).max()) >= _EXACT_LIMIT):
+            psi = self.design.psi(y2)
+        else:
+            psi = (y2.astype(np.float64) @ block).astype(np.int64)
+        return psi if y.ndim == 2 else psi[0]
+
+    def query_results(self, sigma: np.ndarray) -> np.ndarray:
+        """Additive results for one signal or a batch (simulation side)."""
+        return self.design.query_results(sigma)
+
+    def pools(self) -> "list[np.ndarray]":
+        """The pool batch to submit to an oracle (one array per query)."""
+        return [self.design.pool(j) for j in range(self.m)]
+
+    def stats_for(self, y: np.ndarray) -> DesignStats:
+        """:class:`DesignStats` for observed results — no streaming, no scatter.
+
+        The decode-only hot path: ``Ψ`` from the resident block, ``Δ*``/``Δ``
+        precompiled.  ``y`` may be ``(m,)`` or ``(B, m)``.
+        """
+        y = np.asarray(y, dtype=np.int64)
+        return DesignStats(
+            y=y,
+            psi=self.psi(y),
+            dstar=self.dstar,
+            delta=self.delta,
+            n=self.n,
+            m=self.m,
+            gamma=self.gamma,
+        )
+
+
+def _stream_entries(key: DesignKey) -> np.ndarray:
+    """Regenerate a streamed key's flat edge list, batch-keyed like the stream path."""
+    family = StreamFamily(key.root_seed)
+    gamma = int(key.gamma)
+    parts = []
+    for b in range(chunk_count(key.m, key.batch_queries)):
+        lo = b * key.batch_queries
+        hi = min(key.m, lo + key.batch_queries)
+        # Row-major fill: identical draw sequence to the stream path's
+        # (hi - lo, gamma)-shaped batches, flattened.
+        parts.append(family.generator(*key.trial_key, b).integers(0, key.n, size=(hi - lo) * gamma, dtype=np.int64))
+    return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+
+
+def compile_design(design: PoolingDesign, *, key: "DesignKey | None" = None, cache: "DesignCache | None" = None) -> CompiledDesign:
+    """Compile a materialised design (content-addressed unless ``key`` is given).
+
+    With ``cache`` given, the compiled artifact is looked up / stored under
+    its key, so repeated compilations of the same design content are free.
+    """
+    resolved_key = key if key is not None else DesignKey.for_content(design)
+    if cache is not None:
+        return cache.get_or_compile(resolved_key, lambda: CompiledDesign(design, key=resolved_key))
+    return CompiledDesign(design, key=resolved_key)
+
+
+def compile_from_key(key: DesignKey, *, cache: "DesignCache | None" = None) -> CompiledDesign:
+    """Regenerate and compile the design a :class:`DesignKey` addresses.
+
+    Supports the ``stream`` scheme (batch-keyed regeneration, exactly the
+    edges :func:`~repro.core.design.stream_design_stats` would draw) and the
+    ``sampled`` scheme (grid-point designs drawn whole from a keyed
+    generator).  ``content`` keys address data that only ever existed
+    materialised — compile those via :func:`compile_design`.
+    """
+    if cache is not None:
+        return cache.get_or_compile(key, lambda: compile_from_key(key))
+    if key.scheme == "stream":
+        gamma = int(key.gamma)
+        entries = _stream_entries(key)
+        indptr = np.arange(key.m + 1, dtype=np.int64) * gamma
+        return CompiledDesign(PoolingDesign(key.n, entries, indptr), key=key)
+    if key.scheme == "sampled":
+        _, tag, index = key.trial_key
+        rng = batch_generator(key.root_seed, int(tag), int(index))
+        return CompiledDesign(PoolingDesign.sample(key.n, key.m, rng, gamma=int(key.gamma)), key=key)
+    raise ValueError(f"cannot regenerate a {key.scheme!r}-scheme design from its key; compile the materialised design instead")

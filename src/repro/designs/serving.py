@@ -1,0 +1,130 @@
+"""The decode-only serving path: compile once, decode forever.
+
+``MNDecoder.compile(design)`` binds a configured decoder to a
+:class:`~repro.designs.compiled.CompiledDesign` and returns a
+:class:`CompiledMNDecoder` whose :meth:`~CompiledMNDecoder.decode` /
+:meth:`~CompiledMNDecoder.decode_batch` skip design streaming entirely:
+every call is one ``Ψ`` GEMM against the resident incidence block plus the
+top-k selection.  This is the hot path a deployment serves — observed
+result vectors arriving against a small set of deployed designs.
+
+Execution composes with the backend layer: a
+:class:`~repro.engine.backend.SharedMemBackend` fans ``decode_batch`` rows
+over workers that attach the compiled design zero-copy
+(:mod:`repro.designs.sharing`) — the design crosses the process boundary
+once per worker, never per call.  All paths are bit-identical to the
+one-shot :func:`~repro.core.mn.mn_reconstruct` because every intermediate
+is integer-exact.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.designs.compiled import CompiledDesign
+from repro.designs.sharing import SharedCompiledDesign, attach_compiled
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.mn import MNDecoder
+
+__all__ = ["CompiledMNDecoder"]
+
+
+def _psi_rows_task(payload, cache):
+    """Worker task: ``Ψ`` rows for a slice of the result batch.
+
+    The compiled design arrives as a shared-memory descriptor and is
+    attached (and structurally validated) once per worker; the lazily
+    materialised incidence block likewise persists in the worker cache, so
+    steady-state tasks run a single GEMM.
+    """
+    descriptor, y_rows = payload
+    compiled = attach_compiled(descriptor, cache)
+    return compiled.psi(y_rows)
+
+
+class CompiledMNDecoder:
+    """An MN decoder bound to one compiled design.
+
+    Create via :meth:`repro.core.mn.MNDecoder.compile`.  Instances hold the
+    (optional) shared-memory residency of their design, so long-lived
+    serving processes should ``close()`` them (or use ``with``) when the
+    design is undeployed.
+    """
+
+    def __init__(self, compiled: CompiledDesign, decoder: "MNDecoder"):
+        self.compiled = compiled
+        self.decoder = decoder
+        self._residency: "SharedCompiledDesign | None" = None
+
+    # -- the hot path -----------------------------------------------------------
+
+    def decode(self, y: np.ndarray, k: int) -> np.ndarray:
+        """Decode one observed result vector — no sampling, no streaming.
+
+        Bit-identical to ``mn_reconstruct(design, y, k)`` and (for matched
+        stream keys) to the streaming one-shot path on the same ``y``.
+        """
+        y = np.asarray(y, dtype=np.int64)
+        if y.ndim != 1:
+            raise ValueError("decode expects one (m,) result vector; use decode_batch for (B, m)")
+        return self.decoder.decode(self.compiled.stats_for(y), k)
+
+    def decode_batch(self, Y: np.ndarray, k: "int | np.ndarray") -> np.ndarray:
+        """Decode a ``(B, m)`` batch of observed results in one pass.
+
+        With a multi-worker backend on the bound decoder, the ``Ψ`` rows fan
+        out over workers attached to the shared-memory residency; the top-k
+        selection stays in the parent.  Output is bit-identical for every
+        backend (``Ψ`` is integer-exact).
+        """
+        Y = np.asarray(Y, dtype=np.int64)
+        if Y.ndim != 2 or Y.shape[1] != self.compiled.m or Y.shape[0] < 1:
+            raise ValueError(f"Y must have shape (B, m={self.compiled.m})")
+        stats = self._stats_batch(Y, self.decoder.backend)
+        return self.decoder.decode(stats, k)
+
+    def _stats_batch(self, Y: np.ndarray, backend) -> "object":
+        from repro.core.design import DesignStats
+
+        if backend is not None and backend.workers > 1 and Y.shape[0] > 1:
+            psi = self._psi_sharedmem(Y, backend)
+        else:
+            psi = self.compiled.psi(Y)
+        return DesignStats(
+            y=Y,
+            psi=psi,
+            dstar=self.compiled.dstar,
+            delta=self.compiled.delta,
+            n=self.compiled.n,
+            m=self.compiled.m,
+            gamma=self.compiled.gamma,
+        )
+
+    def _psi_sharedmem(self, Y: np.ndarray, backend) -> np.ndarray:
+        """``Ψ`` rows computed by workers against the published design."""
+        if self._residency is None:
+            self._residency = SharedCompiledDesign.publish(self.compiled)
+        descriptor = self._residency.descriptor
+        splits = np.array_split(Y, min(backend.workers, Y.shape[0]))
+        payloads = [(descriptor, rows) for rows in splits if rows.shape[0]]
+        return np.concatenate(backend.map(_psi_rows_task, payloads), axis=0)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the shared-memory residency (if any).  Idempotent."""
+        if self._residency is not None:
+            self._residency.destroy()
+            self._residency = None
+
+    def __enter__(self) -> "CompiledMNDecoder":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CompiledMNDecoder(compiled={self.compiled!r}, decoder={self.decoder!r})"

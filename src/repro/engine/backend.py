@@ -107,6 +107,7 @@ class SerialBackend:
         self._batch_queries = check_positive_int(batch_queries, "batch_queries")
         self._kernel = check_kernel(kernel)
         self._cache: dict = {}
+        self._closed = False
 
     @property
     def workers(self) -> int:
@@ -125,9 +126,12 @@ class SerialBackend:
         return self._kernel
 
     def map(self, fn: Callable[[Any, dict], Any], payloads: Sequence[Any]) -> "list[Any]":
+        if self._closed:
+            raise RuntimeError("backend already shut down")
         return [fn(p, self._cache) for p in payloads]
 
     def shutdown(self) -> None:
+        self._closed = True
         self._cache.clear()
 
     def __enter__(self) -> "SerialBackend":
@@ -207,6 +211,10 @@ class SharedMemBackend:
         return self._pool
 
     def map(self, fn: Callable[[Any, dict], Any], payloads: Sequence[Any]) -> "list[Any]":
+        # Uniform post-shutdown contract with SerialBackend — also covers the
+        # borrowed-pool case, where the pool itself outlives this backend.
+        if self._closed:
+            raise RuntimeError("backend already shut down")
         return self.pool.map(fn, payloads)
 
     def shutdown(self) -> None:
@@ -245,8 +253,10 @@ def resolve_backend(
 
     Resolution rules, in order:
 
-    1. An explicit ``backend`` wins; combining it with ``pool=`` is an
-       error (two sources of truth for where work runs).
+    1. An explicit ``backend`` wins; combining it with *any* legacy knob —
+       ``pool=``, ``workers=``, ``blocks=``, ``batch_queries=``,
+       ``kernel=`` — is an error (two sources of truth for how work runs;
+       silently ignoring the knob would mask configuration bugs).
     2. A legacy ``pool=`` is wrapped in a borrowing :class:`SharedMemBackend`.
     3. ``workers=1`` — the historical default of the wrapped entry points —
        gives a :class:`SerialBackend`.  Any other value keeps the library's
@@ -259,6 +269,9 @@ def resolve_backend(
             raise ValueError("pass either backend= or the legacy pool=, not both")
         if workers not in (None, 1):
             raise ValueError("pass either backend= or the legacy workers=, not both")
+        for name, value in (("blocks", blocks), ("batch_queries", batch_queries), ("kernel", kernel)):
+            if value is not None:
+                raise ValueError(f"pass either backend= or the legacy {name}=, not both")
         return backend, False
     bq = DEFAULT_BATCH_QUERIES if batch_queries is None else batch_queries
     if pool is not None:

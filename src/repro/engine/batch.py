@@ -30,6 +30,8 @@ from repro.engine.backend import Backend
 from repro.util.validation import check_positive_int, check_weight_vector
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.designs.cache import DesignCache
+    from repro.designs.compiled import CompiledDesign
     from repro.noise.models import NoiseModel
 
 __all__ = ["reconstruct_batch", "BatchReconstructionReport", "signals_oracle"]
@@ -121,6 +123,8 @@ def reconstruct_batch(
     noise: "NoiseModel | None" = None,
     noise_seed: int = 0,
     repeats: int = 1,
+    design: "CompiledDesign | PoolingDesign | None" = None,
+    cache: "DesignCache | None" = None,
 ) -> BatchReconstructionReport:
     """Recover ``B`` k-sparse binary signals through one shared design.
 
@@ -172,6 +176,16 @@ def reconstruct_batch(
         ``repeats`` times; per-pool results are averaged and per-signal
         weights calibrated by the replica median
         (:func:`~repro.core.estimate.robust_calibrate_k`).
+    design:
+        Deploy-time design reuse: a
+        :class:`~repro.designs.compiled.CompiledDesign` (or materialised
+        :class:`PoolingDesign`, compiled on the spot) shared by the batch
+        instead of sampling via ``rng`` — the decode then consumes the
+        precompiled ``Δ*`` and ``Ψ`` artifacts.
+    cache:
+        A :class:`~repro.designs.cache.DesignCache` for the compiled form
+        of ``design`` (content-addressed), amortising compilation across
+        calls.
 
     Raises
     ------
@@ -185,7 +199,10 @@ def reconstruct_batch(
     repeats = check_positive_int(repeats, "repeats")
     rng = rng if rng is not None else np.random.default_rng()
 
-    design = PoolingDesign.sample(n, m, rng, gamma=gamma)
+    from repro.core.reconstruction import _resolve_reconstruct_design
+
+    compiled = _resolve_reconstruct_design(design, cache, n, m)
+    design = compiled.design if compiled is not None else PoolingDesign.sample(n, m, rng, gamma=gamma)
     pools = [design.pool(j) for j in range(design.m)]
     calibrated = k is None
     if calibrated:
@@ -227,16 +244,19 @@ def reconstruct_batch(
     else:
         y = y_reps[0]
 
-    kernel = getattr(backend, "kernel", None)
-    stats = DesignStats(
-        y=y,
-        psi=design.psi(y, kernel=kernel),
-        dstar=design.dstar(kernel=kernel),
-        delta=design.delta(),
-        n=n,
-        m=m,
-        gamma=design.mean_pool_size,
-    )
+    if compiled is not None:
+        stats = compiled.stats_for(y)
+    else:
+        kernel = getattr(backend, "kernel", None)
+        stats = DesignStats(
+            y=y,
+            psi=design.psi(y, kernel=kernel),
+            dstar=design.dstar(kernel=kernel),
+            delta=design.delta(),
+            n=n,
+            m=m,
+            gamma=design.mean_pool_size,
+        )
     decoder = MNDecoder(blocks=blocks, backend=backend)
     # Uniform weights take the vectorised top-k path; ragged weights rank.
     if int(k_arr.min()) == int(k_arr.max()):

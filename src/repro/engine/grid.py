@@ -37,6 +37,7 @@ from repro.rng.streams import batch_generator
 from repro.util.validation import check_nonneg_int, check_positive_int
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.designs.cache import DesignCache
     from repro.noise.models import NoiseModel
 
 __all__ = ["run_batched_point", "run_batched_point_sweep", "run_trial_grid", "BatchedPointResult"]
@@ -75,12 +76,16 @@ def run_batched_point(
     noise: "NoiseModel | None" = None,
     repeats: int = 1,
     kernel: "str | None" = None,
+    cache: "DesignCache | None" = None,
 ) -> BatchedPointResult:
     """Run one grid point: ``trials`` signals decoded against one design.
 
     The design is keyed by ``(root_seed, point_id)``; signal ``t`` is keyed
     exactly as the classic runner's trial ``point_id * 1_000_003 + t``.
     Deterministic in all arguments — worker counts never enter the keys.
+    With ``cache=`` (or the ambient ``REPRO_DESIGN_CACHE``), the point's
+    design is compiled under its sampled-scheme key and reused across
+    repeated sweeps — sampling, dedup and ``Δ*`` paid once per process.
 
     With ``noise`` given, each trial's results are corrupted through its
     own stream keyed ``(root_seed, NOISE_STREAM_TAG, point_id * 1_000_003
@@ -91,9 +96,9 @@ def run_batched_point(
     reproduces the noiseless point bit for bit.
     """
     repeats = check_positive_int(repeats, "repeats")
-    design, sigmas, k = _point_first_stage(n, m, theta, k, trials, root_seed, point_id, gamma)
+    design, compiled, sigmas, k = _point_first_stage(n, m, theta, k, trials, root_seed, point_id, gamma, cache)
     y_clean = design.query_results(sigmas, kernel=kernel)
-    return _decode_noisy_point(design, sigmas, y_clean, k, root_seed, point_id, blocks, noise, repeats, kernel=kernel)
+    return _decode_noisy_point(design, sigmas, y_clean, k, root_seed, point_id, blocks, noise, repeats, kernel=kernel, compiled=compiled)
 
 
 def _point_first_stage(
@@ -105,12 +110,16 @@ def _point_first_stage(
     root_seed: int,
     point_id: int,
     gamma: Optional[int],
-) -> "tuple[PoolingDesign, np.ndarray, int]":
+    cache: "DesignCache | None" = None,
+) -> "tuple[PoolingDesign, object, np.ndarray, int]":
     """Validate a grid point and draw its signal-independent first stage.
 
-    Returns the keyed design, the ``(trials, n)`` signal stack and the
-    resolved weight ``k`` — everything downstream of this is per-channel.
+    Returns the keyed design, its compiled artifact (``None`` without a
+    cache), the ``(trials, n)`` signal stack and the resolved weight ``k``
+    — everything downstream of this is per-channel.
     """
+    from repro.designs.cache import resolve_design_cache
+
     n = check_positive_int(n, "n")
     m = check_positive_int(m, "m")
     trials = check_positive_int(trials, "trials")
@@ -121,14 +130,23 @@ def _point_first_stage(
         k = theta_to_k(n, float(theta))
     k = check_positive_int(k, "k")
 
-    design = PoolingDesign.sample(n, m, batch_generator(root_seed, _DESIGN_TAG, point_id), gamma=gamma)
+    compiled = None
+    cache_obj = resolve_design_cache(cache)
+    if cache_obj is not None:
+        from repro.designs.compiled import DesignKey, compile_from_key
+
+        key = DesignKey.for_sampled(n, m, root_seed=root_seed, tag=_DESIGN_TAG, index=point_id, gamma=gamma)
+        compiled = compile_from_key(key, cache=cache_obj)
+        design = compiled.design
+    else:
+        design = PoolingDesign.sample(n, m, batch_generator(root_seed, _DESIGN_TAG, point_id), gamma=gamma)
 
     sigmas = np.empty((trials, n), dtype=np.int8)
     for t in range(trials):
         # Same stream key as run_mn_trial's signal draw for this trial id.
         trial = point_id * POINT_TRIAL_STRIDE + t
         sigmas[t] = random_signal(n, k, batch_generator(root_seed, SIGNAL_STREAM_TAG, trial))
-    return design, sigmas, k
+    return design, compiled, sigmas, k
 
 
 def _decode_noisy_point(
@@ -142,14 +160,16 @@ def _decode_noisy_point(
     noise: "NoiseModel | None",
     repeats: int,
     kernel: "str | None" = None,
+    compiled=None,
 ) -> BatchedPointResult:
     """Corrupt + decode one batched point against precomputed first-stage data.
 
     The shared tail of :func:`run_batched_point` and
     :func:`run_batched_point_sweep`: everything signal- and
     channel-dependent happens here, everything design-dependent
-    (``design``, ``sigmas``, ``y_clean``) is paid by the caller — once per
-    point, or once per whole level sweep.
+    (``design``, ``sigmas``, ``y_clean``, the optional ``compiled``
+    artifact) is paid by the caller — once per point, or once per whole
+    level sweep.
     """
     if noise is None:
         y = y_clean
@@ -163,15 +183,18 @@ def _decode_noisy_point(
             ]
         )
         y = average_replicas(replicas) if repeats > 1 else replicas[0]
-    stats = DesignStats(
-        y=y,
-        psi=design.psi(y, kernel=kernel),
-        dstar=design.dstar(kernel=kernel),
-        delta=design.delta(),
-        n=design.n,
-        m=design.m,
-        gamma=design.mean_pool_size,
-    )
+    if compiled is not None:
+        stats = compiled.stats_for(y)
+    else:
+        stats = DesignStats(
+            y=y,
+            psi=design.psi(y, kernel=kernel),
+            dstar=design.dstar(kernel=kernel),
+            delta=design.delta(),
+            n=design.n,
+            m=design.m,
+            gamma=design.mean_pool_size,
+        )
     sigma_hat = MNDecoder(blocks=blocks).decode(stats, k)
     return BatchedPointResult(
         n=design.n,
@@ -196,6 +219,7 @@ def run_batched_point_sweep(
     blocks: int = 1,
     repeats: int = 1,
     kernel: "str | None" = None,
+    cache: "DesignCache | None" = None,
 ) -> "list[BatchedPointResult]":
     """One grid point swept over several noise channels, first stage shared.
 
@@ -208,17 +232,42 @@ def run_batched_point_sweep(
     comparison.
     """
     repeats = check_positive_int(repeats, "repeats")
-    design, sigmas, k = _point_first_stage(n, m, theta, k, trials, root_seed, point_id, gamma)
+    design, compiled, sigmas, k = _point_first_stage(n, m, theta, k, trials, root_seed, point_id, gamma, cache)
     y_clean = design.query_results(sigmas, kernel=kernel)
     return [
-        _decode_noisy_point(design, sigmas, y_clean, k, root_seed, point_id, blocks, model, repeats, kernel=kernel)
+        _decode_noisy_point(design, sigmas, y_clean, k, root_seed, point_id, blocks, model, repeats, kernel=kernel, compiled=compiled)
         for model in models
     ]
 
 
+#: Worker-cache slot holding each worker's private :class:`DesignCache` when
+#: a grid fans out with caching requested (the parent's cache object cannot
+#: cross the process boundary, but per-worker caches amortise repeated
+#: sweeps just the same).
+_WORKER_CACHE_SLOT = "grid-design-cache"
+
+
 def _grid_point_task(payload, cache) -> BatchedPointResult:
-    """Module-level worker task (picklable) running one batched grid point."""
-    n, m, theta, k, trials, root_seed, point_id, gamma, blocks, noise, repeats, kernel = payload
+    """Module-level worker task (picklable) running one batched grid point.
+
+    ``cache_bytes`` (the payload's last field) is the caller's cache budget:
+    ``None`` disables design caching; otherwise the worker's private
+    :class:`DesignCache` is created at that budget on first use.  The serial
+    path pre-seeds the slot with the caller's cache object directly.
+    """
+    n, m, theta, k, trials, root_seed, point_id, gamma, blocks, noise, repeats, kernel, cache_bytes = payload
+    if cache_bytes is None:
+        # Caching explicitly off for this grid: also release any cache a
+        # previous grid left behind in this worker (the opt-in contract
+        # bounds memory, so "off" must actually free it).
+        cache.pop(_WORKER_CACHE_SLOT, None)
+        design_cache = None
+    else:
+        design_cache = cache.get(_WORKER_CACHE_SLOT)
+        if design_cache is None or design_cache.max_bytes != cache_bytes:
+            from repro.designs.cache import DesignCache
+
+            design_cache = cache[_WORKER_CACHE_SLOT] = DesignCache(cache_bytes)
     return run_batched_point(
         n,
         m,
@@ -232,6 +281,7 @@ def _grid_point_task(payload, cache) -> BatchedPointResult:
         noise=noise,
         repeats=repeats,
         kernel=kernel,
+        cache=design_cache,
     )
 
 
@@ -249,6 +299,7 @@ def run_trial_grid(
     workers: int = 1,
     noise: "NoiseModel | None" = None,
     repeats: int = 1,
+    cache: "DesignCache | None" = None,
 ) -> "list[BatchedPointResult]":
     """Sweep ``m`` over a grid with batched per-point execution.
 
@@ -258,15 +309,31 @@ def run_trial_grid(
     bit-reproducible for every backend.  ``noise``/``repeats`` thread the
     noisy channel into every point (models are plain frozen dataclasses,
     so they cross the process boundary with the payload).
+
+    ``cache=`` (or the ambient ``REPRO_DESIGN_CACHE``) compiles every
+    point's design under its sampled-scheme key: repeated sweeps over the
+    same grid reuse the compiled artifacts.  With a multi-worker backend
+    the cache object cannot cross the process boundary, so each worker
+    keeps a private cache at the caller's byte budget in its persistent
+    task cache — results are identical either way (cache hits never
+    change output).
     """
+    from repro.designs.cache import resolve_design_cache
+
     with resolved_backend(backend, pool=pool, workers=workers) as exec_backend:
         # Resolve to a concrete kernel name in the parent so workers never
         # consult their own environment.
         kernel = resolve_kernel(getattr(exec_backend, "kernel", None))
+        cache_obj = resolve_design_cache(cache)
+        cache_bytes = cache_obj.max_bytes if cache_obj is not None else None
         payloads = [
-            (n, int(m), theta, k, trials, root_seed, idx, gamma, exec_backend.blocks, noise, repeats, kernel)
+            (n, int(m), theta, k, trials, root_seed, idx, gamma, exec_backend.blocks, noise, repeats, kernel, cache_bytes)
             for idx, m in enumerate(ms)
         ]
         if exec_backend.workers == 1:
-            return [_grid_point_task(p, {}) for p in payloads]
+            # Inline execution shares one persistent task cache pre-seeded
+            # with the caller's cache object, so the parent cache is used
+            # directly (same code path as the workers otherwise).
+            task_cache = {_WORKER_CACHE_SLOT: cache_obj} if cache_obj is not None else {}
+            return [_grid_point_task(p, task_cache) for p in payloads]
         return exec_backend.map(_grid_point_task, payloads)

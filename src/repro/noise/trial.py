@@ -18,14 +18,20 @@ rather than a special case.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.core.design import PoolingDesign
-from repro.core.mn import MNTrialResult, mn_reconstruct
+from repro.core.mn import MNDecoder, MNTrialResult, mn_reconstruct
 from repro.core.signal import exact_recovery, overlap_fraction, random_signal, theta_to_k
 from repro.noise.channel import average_replicas
 from repro.noise.models import NoiseModel
 from repro.util.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.designs.cache import DesignCache
+    from repro.designs.compiled import CompiledDesign
 
 __all__ = ["run_noisy_mn_trial", "NOISY_TRIAL_SPAWN_TAG"]
 
@@ -63,6 +69,8 @@ def run_noisy_mn_trial(
     trial: int = 0,
     decoder: str = "mn",
     repeats: int = 1,
+    design: "CompiledDesign | None" = None,
+    cache: "DesignCache | None" = None,
 ) -> MNTrialResult:
     """One trial through a noisy additive channel.
 
@@ -84,6 +92,16 @@ def run_noisy_mn_trial(
         Repeat-query averaging: corrupt ``repeats`` independent replicas
         of the results and decode their rounded mean.  ``repeats=1``
         reproduces the historical single-corruption behaviour bit for bit.
+    design:
+        A precompiled design to reuse instead of sampling one from this
+        trial's design stream (must match ``n``/``m``).  The signal and
+        noise streams are independent children of the trial's seed
+        sequence, so they are unaffected by skipping the design draw.
+    cache:
+        A :class:`~repro.designs.cache.DesignCache`: this trial's sampled
+        design is compiled under a trial-tagged key and reused across
+        repeated level sweeps — hits are bit-identical to re-sampling
+        because the key regenerates the same draw.
     """
     n = check_positive_int(n, "n")
     check_positive_int(m, "m")
@@ -97,11 +115,36 @@ def run_noisy_mn_trial(
     seq = np.random.SeedSequence(entropy=root_seed, spawn_key=(NOISY_TRIAL_SPAWN_TAG, trial))
     sig_rng, design_rng, noise_rng = (np.random.Generator(np.random.PCG64(s)) for s in seq.spawn(3))
     sigma = random_signal(n, k, sig_rng)
-    design = PoolingDesign.sample(n, m, design_rng)
-    y_clean = design.query_results(sigma)
+
+    from repro.designs.cache import resolve_design_cache
+
+    compiled = design
+    if compiled is not None:
+        if compiled.n != n or compiled.m != m:
+            raise ValueError(f"design= has (n={compiled.n}, m={compiled.m}); this trial asked for (n={n}, m={m})")
+    else:
+        cache_obj = resolve_design_cache(cache)
+        if cache_obj is not None:
+            from repro.core.design import default_gamma
+            from repro.designs.compiled import CompiledDesign, DesignKey
+
+            key = DesignKey(
+                n=n,
+                m=m,
+                gamma=default_gamma(n),
+                root_seed=root_seed,
+                trial_key=("noisy", NOISY_TRIAL_SPAWN_TAG, trial),
+                batch_queries=0,
+            )
+            compiled = cache_obj.get_or_compile(key, lambda: CompiledDesign(PoolingDesign.sample(n, m, design_rng), key=key))
+    design_obj = compiled.design if compiled is not None else PoolingDesign.sample(n, m, design_rng)
+    y_clean = design_obj.query_results(sigma)
     replicas = np.stack([noise.corrupt(y_clean, noise_rng) for _ in range(repeats)])
     y_noisy = average_replicas(replicas)
-    sigma_hat = _decode(decoder, design, y_noisy, k)
+    if decoder == "mn" and compiled is not None:
+        sigma_hat = MNDecoder().decode(compiled.stats_for(y_noisy), k)
+    else:
+        sigma_hat = _decode(decoder, design_obj, y_noisy, k)
     return MNTrialResult(
         n=n,
         k=k,

@@ -66,3 +66,66 @@ class TestCommands:
         rc = main(["claims", "--trials", "3", "--workers", "1"])
         assert rc == 0
         assert "sec6_99pct_overlap" in capsys.readouterr().out
+
+
+class TestDesignCommands:
+    def test_design_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["design"])
+
+    def test_build_info_decode_roundtrip(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.core.serialization import load_compiled_design, save_design
+        from repro.core.signal import random_signal
+
+        out = tmp_path / "deployed"
+        assert main(["design", "build", "--n", "200", "--m", "150", "--seed", "9", "--out", str(out)]) == 0
+        built = capsys.readouterr().out
+        assert "compiled design written" in built and "stream" in built
+
+        assert main(["design", "info", str(out) + ".npz"]) == 0
+        info = capsys.readouterr().out
+        assert "batch_queries=256" in info and "psi block" in info
+
+        # Attach observed results to the artifact, then serve a decode.
+        compiled, _ = load_compiled_design(str(out) + ".npz")
+        sigma = random_signal(200, 3, np.random.default_rng(3))
+        served = tmp_path / "observed"
+        save_design(served, compiled, y=compiled.query_results(sigma))
+        assert main(["design", "decode", str(served) + ".npz", "--k", "3"]) == 0
+        decoded = capsys.readouterr().out
+        support = " ".join(str(i) for i in np.flatnonzero(sigma))
+        assert support in decoded
+
+    def test_decode_from_y_file(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.core.serialization import load_compiled_design
+
+        out = tmp_path / "d"
+        assert main(["design", "build", "--n", "100", "--m", "80", "--out", str(out)]) == 0
+        capsys.readouterr()
+        compiled, _ = load_compiled_design(str(out) + ".npz")
+        sigma = np.zeros(100, dtype=np.int8)
+        sigma[[5, 17]] = 1
+        y_file = tmp_path / "y.txt"
+        y_file.write_text("\n".join(str(int(v)) for v in compiled.query_results(sigma)))
+        assert main(["design", "decode", str(out) + ".npz", "--k", "2", "--y-file", str(y_file)]) == 0
+        assert "5 17" in capsys.readouterr().out
+
+    def test_decode_malformed_y_file_errors(self, tmp_path, capsys):
+        out = tmp_path / "d"
+        assert main(["design", "build", "--n", "50", "--m", "30", "--out", str(out)]) == 0
+        capsys.readouterr()
+        bad = tmp_path / "y.txt"
+        bad.write_text("3.5 not-a-count")
+        assert main(["design", "decode", str(out) + ".npz", "--k", "2", "--y-file", str(bad)]) == 2
+        assert "could not parse" in capsys.readouterr().err
+
+    def test_decode_without_results_errors(self, tmp_path, capsys):
+        out = tmp_path / "empty"
+        assert main(["design", "build", "--n", "50", "--m", "30", "--out", str(out)]) == 0
+        capsys.readouterr()
+        assert main(["design", "decode", str(out) + ".npz", "--k", "2"]) == 2
+        assert "--y-file" in capsys.readouterr().err

@@ -63,10 +63,39 @@ class TestBackends:
             with pytest.raises(ValueError, match="not both"):
                 resolve_backend(SerialBackend(), pool=pool)
 
+    @pytest.mark.parametrize("knob", [{"workers": 4}, {"blocks": 2}, {"batch_queries": 128}, {"kernel": "legacy"}])
+    def test_resolve_rejects_backend_plus_any_legacy_knob(self, knob):
+        # An explicit backend with a loose knob is two sources of truth;
+        # every knob must be rejected loudly, not silently ignored.
+        with pytest.raises(ValueError, match="not both"):
+            resolve_backend(SerialBackend(), **knob)
+
     def test_resolve_explicit_backend_not_owned(self):
         b = SerialBackend(blocks=4)
         backend, owned = resolve_backend(b)
         assert backend is b and not owned
+
+    def test_serial_map_after_shutdown_raises(self):
+        b = SerialBackend()
+        b.shutdown()
+        with pytest.raises(RuntimeError, match="backend already shut down"):
+            b.map(_double_task, [1])
+
+    def test_sharedmem_map_after_shutdown_raises(self):
+        b = SharedMemBackend(2)
+        b.shutdown()  # lazy pool: never forked
+        with pytest.raises(RuntimeError, match="backend already shut down"):
+            b.map(_double_task, [1])
+
+    def test_sharedmem_borrowed_pool_map_after_shutdown_raises(self):
+        # The borrowed pool survives, but the backend must still refuse:
+        # same post-shutdown contract as every other backend.
+        with WorkerPool(2) as pool:
+            b = SharedMemBackend(pool=pool)
+            b.shutdown()
+            with pytest.raises(RuntimeError, match="backend already shut down"):
+                b.map(_double_task, [1])
+            assert pool.map(_double_task, [2]) == [4]
 
 
 def _double_task(payload, cache):

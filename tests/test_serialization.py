@@ -1,12 +1,15 @@
-"""Tests for design persistence."""
+"""Tests for design persistence: plain designs, compiled artifacts, cache keys."""
+
+import dataclasses
 
 import numpy as np
 import pytest
 
 from repro.core.design import PoolingDesign
 from repro.core.mn import mn_reconstruct
-from repro.core.serialization import FORMAT_VERSION, load_design, save_design
+from repro.core.serialization import FORMAT_VERSION, load_compiled_design, load_design, save_design
 from repro.core.signal import random_signal
+from repro.designs import CompiledDesign, DesignCache, DesignKey, compile_design, compile_from_key
 
 
 @pytest.fixture
@@ -46,6 +49,166 @@ class TestRoundtrip:
         loaded, _ = load_design(path)
         assert loaded.m == 3
         assert np.array_equal(loaded.pool(1), np.array([2, 3, 4]))
+
+
+class TestCompiledRoundtrip:
+    def test_compiled_artifact_roundtrip(self, tmp_path):
+        key = DesignKey.for_stream(120, 80, root_seed=4, trial_key=(7,), batch_queries=32)
+        compiled = compile_from_key(key)
+        path = save_design(tmp_path / "artifact", compiled)
+        loaded, y = load_compiled_design(path)
+        assert y is None
+        assert loaded.key == key and loaded.key.scheme == "stream"
+        assert np.array_equal(loaded.design.entries, compiled.design.entries)
+        assert np.array_equal(loaded.dstar, compiled.dstar)
+        assert np.array_equal(loaded.delta, compiled.delta)
+
+    def test_ragged_compiled_roundtrip_with_results(self, tmp_path):
+        design = PoolingDesign.from_pools(10, [[0, 1, 1], [2, 3, 4], [5]])
+        compiled = compile_design(design)
+        sigma = np.zeros(10, dtype=np.int8)
+        sigma[[1, 3]] = 1
+        y = design.query_results(sigma)
+        path = save_design(tmp_path / "ragged-artifact", compiled, y=y)
+        loaded, y2 = load_compiled_design(path)
+        assert loaded.key.scheme == "content" and loaded.key == compiled.key
+        assert np.array_equal(y, y2)
+        # Re-decoding from the artifact reproduces the estimate bit for bit.
+        assert np.array_equal(
+            loaded.stats_for(y2).psi,
+            compiled.stats_for(y).psi,
+        )
+
+    def test_plain_file_loads_as_compiled(self, tmp_path):
+        # Files written before the compiled lifecycle stay serveable: the
+        # design is compiled on load under its content address.
+        design = PoolingDesign.sample(60, 30, np.random.default_rng(2))
+        path = save_design(tmp_path / "plain", design)
+        loaded, _ = load_compiled_design(path)
+        assert loaded.key == DesignKey.for_content(design)
+        assert np.array_equal(loaded.dstar, design.dstar())
+
+    def test_compiled_decode_matches_plain_decode(self, tmp_path):
+        rng = np.random.default_rng(0)
+        sigma = random_signal(200, 4, rng)
+        design = PoolingDesign.sample(200, 150, rng)
+        y = design.query_results(sigma)
+        path = save_design(tmp_path / "served", compile_design(design), y=y)
+        compiled, y2 = load_compiled_design(path)
+        from repro.core.mn import MNDecoder
+
+        assert np.array_equal(
+            MNDecoder().compile(compiled).decode(y2, 4),
+            mn_reconstruct(design, y, 4),
+        )
+
+    def test_corrupted_delta_rejected(self, tmp_path):
+        compiled = compile_design(PoolingDesign.sample(40, 20, np.random.default_rng(1)))
+        bad_delta = compiled.delta.copy()
+        bad_delta[0] += 1
+        path = tmp_path / "bad-delta.npz"
+        np.savez(
+            path,
+            format_version=np.asarray(FORMAT_VERSION),
+            n=np.asarray(compiled.n),
+            entries=compiled.design.entries,
+            indptr=compiled.design.indptr,
+            compiled_dstar=compiled.dstar,
+            compiled_delta=bad_delta,
+            compiled_key=np.asarray("{}"),
+        )
+        with pytest.raises(ValueError, match="delta is inconsistent"):
+            load_compiled_design(path)
+
+    def test_truncated_compiled_extras_rejected(self, tmp_path):
+        # compiled_key present but the degree vectors missing (truncated or
+        # foreign writer): ValueError, never a raw KeyError.
+        design = PoolingDesign.sample(40, 20, np.random.default_rng(1))
+        path = tmp_path / "truncated.npz"
+        np.savez(
+            path,
+            format_version=np.asarray(FORMAT_VERSION),
+            n=np.asarray(design.n),
+            entries=design.entries,
+            indptr=design.indptr,
+            compiled_key=np.asarray("{}"),
+        )
+        with pytest.raises(ValueError, match="missing 'compiled_dstar'"):
+            load_compiled_design(path)
+
+    def test_wrong_object_type_rejected_on_save(self, tmp_path):
+        with pytest.raises(TypeError, match="expected PoolingDesign or CompiledDesign"):
+            save_design(tmp_path / "bad", object())
+
+    def test_garbled_key_json_rejected(self, tmp_path):
+        # Degrees valid but the key JSON is empty/garbled: still ValueError,
+        # never a raw KeyError.
+        compiled = compile_design(PoolingDesign.sample(40, 20, np.random.default_rng(1)))
+        path = tmp_path / "bad-key.npz"
+        np.savez(
+            path,
+            format_version=np.asarray(FORMAT_VERSION),
+            n=np.asarray(compiled.n),
+            entries=compiled.design.entries,
+            indptr=compiled.design.indptr,
+            compiled_dstar=compiled.dstar,
+            compiled_delta=compiled.delta,
+            compiled_key=np.asarray("{}"),
+        )
+        with pytest.raises(ValueError, match="corrupted compiled-design key"):
+            load_compiled_design(path)
+
+    def test_corrupted_dstar_rejected(self, tmp_path):
+        compiled = compile_design(PoolingDesign.sample(40, 20, np.random.default_rng(1)))
+        bad_dstar = compiled.dstar.copy()
+        bad_dstar[0] = compiled.m + 5  # above the distinct-query ceiling
+        path = tmp_path / "bad-dstar.npz"
+        np.savez(
+            path,
+            format_version=np.asarray(FORMAT_VERSION),
+            n=np.asarray(compiled.n),
+            entries=compiled.design.entries,
+            indptr=compiled.design.indptr,
+            compiled_dstar=bad_dstar,
+            compiled_delta=compiled.delta,
+            compiled_key=np.asarray("{}"),
+        )
+        with pytest.raises(ValueError, match="degree bounds"):
+            load_compiled_design(path)
+
+
+class TestCacheKeying:
+    """Same key → hit; any key component change → miss."""
+
+    BASE = dict(n=120, m=80, gamma=60, root_seed=4, trial_key=(7,), batch_queries=32)
+
+    def test_same_key_hits(self):
+        key = DesignKey(**self.BASE)
+        cache = DesignCache()
+        cache.put(key, CompiledDesign(compile_from_key(key).design, key=key))
+        assert cache.get(DesignKey(**self.BASE)) is not None
+        assert cache.stats.hits == 1
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"n": 121},
+            {"m": 81},
+            {"gamma": 61},
+            {"root_seed": 5},
+            {"trial_key": (8,)},
+            {"trial_key": (7, 0)},
+            {"batch_queries": 64},
+        ],
+    )
+    def test_any_component_change_misses(self, change):
+        key = DesignKey(**self.BASE)
+        cache = DesignCache()
+        compiled = compile_from_key(key)
+        cache.put(key, compiled)
+        probe = dataclasses.replace(key, **change)
+        assert cache.get(probe) is None
+        assert cache.stats.misses == 1 and cache.stats.hits == 0
 
 
 class TestValidation:
