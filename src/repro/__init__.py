@@ -118,8 +118,10 @@ from repro.designs import (
     CompiledMNDecoder,
     DesignCache,
     DesignKey,
+    DesignStore,
     compile_design,
     compile_from_key,
+    resolve_design_store,
 )
 from repro.kernels import available_kernels
 from repro.machine import SimulatedLab
@@ -133,7 +135,7 @@ from repro.noise import (
 )
 from repro.parallel import WorkerPool
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "GAMMA",
@@ -153,8 +155,10 @@ __all__ = [
     "CompiledMNDecoder",
     "DesignCache",
     "DesignKey",
+    "DesignStore",
     "compile_design",
     "compile_from_key",
+    "resolve_design_store",
     "SimulatedLab",
     "WorkerPool",
     "available_kernels",

@@ -11,13 +11,15 @@ fignoise  noisy-channel robustness phase diagram (§VI extension)
 claims    the §VI in-text claim table
 it        empirical Theorem-2 phase transition (exhaustive)
 thresh    threshold constants table across θ
-design    compiled-design lifecycle: build | info | decode
+design    compiled-design lifecycle: build | info | decode | store
 ========  =====================================================
 
 The ``design`` group is the deploy-time face of the sample→compile→decode
 lifecycle: ``build`` compiles a stream-keyed design once and persists the
-artifact, ``info`` inspects it, and ``decode`` serves observed result
-vectors against it without ever re-streaming the design.
+artifact, ``info`` inspects it, ``decode`` serves observed result vectors
+against it without ever re-streaming the design, and ``store`` manages
+the cross-process compiled-design store (``ls | gc | stats``; see
+``REPRO_DESIGN_STORE``).
 
 All sweeps accept ``--trials`` and ``--workers``; defaults are laptop-scale
 (see EXPERIMENTS.md for the paper-scale invocations).
@@ -110,7 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument("--n", type=int, default=10000)
     pt.add_argument("--thetas", type=float, nargs="+", default=[0.1, 0.2, 0.3, 0.4, 0.5])
 
-    pd = sub.add_parser("design", help="compiled-design lifecycle: build | info | decode")
+    pd = sub.add_parser("design", help="compiled-design lifecycle: build | info | decode | store")
     dsub = pd.add_subparsers(dest="design_command", required=True)
 
     db = dsub.add_parser("build", help="compile a stream-keyed design and persist the artifact")
@@ -129,6 +131,23 @@ def build_parser() -> argparse.ArgumentParser:
     dd.add_argument("--k", type=int, required=True, help="signal weight")
     dd.add_argument("--y-file", type=str, default=None, help="whitespace-separated result counts (default: results stored in the artifact)")
     dd.add_argument("--blocks", type=int, default=1, help="top-k decomposition width")
+
+    ds = dsub.add_parser("store", help="cross-process design store: ls | gc | stats")
+    ssub = ds.add_subparsers(dest="store_command", required=True)
+    for name, help_text in (
+        ("ls", "list persisted compiled designs (most recently used first)"),
+        ("gc", "evict least-recently-used entries down to a byte budget"),
+        ("stats", "footprint and cumulative cross-process counters"),
+    ):
+        sp = ssub.add_parser(name, help=help_text)
+        sp.add_argument(
+            "--store",
+            type=str,
+            default=None,
+            help=f"store directory (default: ${{{'REPRO_DESIGN_STORE'}}})",
+        )
+        if name == "gc":
+            sp.add_argument("--max-bytes", type=int, default=None, help="byte budget (default: the store's configured budget)")
 
     return parser
 
@@ -307,14 +326,71 @@ def _design_rows(compiled, y) -> "list[tuple[str, str]]":
     ]
 
 
+def _resolve_store_arg(path: "Optional[str]"):
+    """The store a ``design store`` subcommand operates on (arg wins over env)."""
+    from repro.designs import DesignStore, resolve_design_store
+
+    if path is not None:
+        return DesignStore(path)
+    store = resolve_design_store(None)
+    if store is None:
+        print("error: no store given; pass --store or set REPRO_DESIGN_STORE", file=sys.stderr)
+    return store
+
+
+def _cmd_design_store(args) -> int:
+    store = _resolve_store_arg(args.store)
+    if store is None:
+        return 2
+    if args.store_command == "ls":
+        entries = store.ls()
+        rows = [
+            (e.digest[:12], str(e.key.n), str(e.key.m), e.key.scheme, str(e.nbytes))
+            for e in entries
+        ]
+        print(format_table(["digest", "n", "m", "scheme", "bytes"], rows))
+        print(f"{len(entries)} entries, {sum(e.nbytes for e in entries)} bytes in {store.root}")
+        return 0
+    if args.store_command == "gc":
+        budget = args.max_bytes if args.max_bytes is not None else store.max_bytes
+        if budget is None:
+            print("error: no byte budget; pass --max-bytes or set REPRO_DESIGN_STORE_BYTES", file=sys.stderr)
+            return 2
+        evicted = store.gc(budget)
+        for e in evicted:
+            print(f"evicted {e.digest[:12]} ({e.nbytes} bytes)")
+        print(f"freed {sum(e.nbytes for e in evicted)} bytes; {store.nbytes} bytes remain (budget {budget})")
+        return 0
+    if args.store_command == "stats":
+        s = store.stats
+        cumulative = store.persistent_stats()
+        rows = [
+            ("root", str(store.root)),
+            ("entries", str(s.entries)),
+            ("bytes", str(s.nbytes)),
+            ("budget", str(store.max_bytes) if store.max_bytes is not None else "unbounded"),
+            ("hits (all processes)", str(cumulative["hits"])),
+            ("misses (all processes)", str(cumulative["misses"])),
+            ("publishes (all processes)", str(cumulative["publishes"])),
+            ("evictions (all processes)", str(cumulative["evictions"])),
+        ]
+        print(format_table(["field", "value"], rows))
+        return 0
+    raise AssertionError(f"unhandled store command {args.store_command!r}")
+
+
 def _cmd_design(args) -> int:
     from repro.core.serialization import load_compiled_design, save_design
 
+    if args.design_command == "store":
+        return _cmd_design_store(args)
     if args.design_command == "build":
-        from repro.designs import DesignKey, compile_from_key
+        from repro.designs import DesignKey, compile_from_key, resolve_design_cache, resolve_design_store
 
         key = DesignKey.for_stream(args.n, args.m, root_seed=args.seed, gamma=args.gamma, batch_queries=args.batch_queries)
-        compiled = compile_from_key(key)
+        # Ambient REPRO_DESIGN_STORE makes repeated CLI builds of one key
+        # attach the persisted compilation instead of redoing it.
+        compiled = compile_from_key(key, cache=resolve_design_cache(None), store=resolve_design_store(None))
         path = save_design(args.out, compiled)
         print(f"compiled design written to {path}")
         print(format_table(["field", "value"], _design_rows(compiled, None)))

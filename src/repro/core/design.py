@@ -60,6 +60,7 @@ from repro.util.validation import check_binary_batch, check_binary_signal, check
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine builds on core)
     from repro.designs.cache import DesignCache
     from repro.designs.compiled import CompiledDesign
+    from repro.designs.store import DesignStore
     from repro.engine.backend import Backend
     from repro.noise.models import NoiseModel
 
@@ -443,6 +444,7 @@ def stream_design_stats(
     kernel: "str | None" = None,
     design: "CompiledDesign | None" = None,
     cache: "DesignCache | None" = None,
+    store: "DesignStore | None" = None,
 ) -> DesignStats:
     """Simulate ``m`` parallel queries and accumulate MN statistics.
 
@@ -503,8 +505,17 @@ def stream_design_stats(
         A :class:`~repro.designs.cache.DesignCache` (or ``None`` to use
         the ambient ``REPRO_DESIGN_CACHE`` configuration): hits skip
         streaming, misses stream once and admit the compiled design.
+    store:
+        A :class:`~repro.designs.store.DesignStore` (or ``None`` to use
+        the ambient ``REPRO_DESIGN_STORE`` configuration): the
+        cross-process L2 under the cache.  A store hit mmap-attaches the
+        persisted artifact (and warms the cache); a full miss streams
+        once and publishes, so *other processes* with this key decode
+        warm too.  Bit-identical either way — the store only ever skips
+        work.
     """
     from repro.designs.cache import resolve_design_cache
+    from repro.designs.store import resolve_design_store
     from repro.engine.backend import resolved_backend
 
     sigma = check_binary_signal(sigma)
@@ -519,8 +530,9 @@ def stream_design_stats(
 
         key = None
         cache_obj = resolve_design_cache(cache)
+        store_obj = resolve_design_store(store)
         compiled = design
-        if design is not None or cache_obj is not None:
+        if design is not None or cache_obj is not None or store_obj is not None:
             from repro.designs.compiled import DesignKey
 
             key = DesignKey.for_stream(
@@ -530,7 +542,11 @@ def stream_design_stats(
                 if design.key != key:
                     raise ValueError(f"design= key {design.key} does not match this call's key {key}")
             else:
-                compiled = cache_obj.get(key)
+                compiled = cache_obj.get(key) if cache_obj is not None else None
+                if compiled is None and store_obj is not None:
+                    compiled = store_obj.get(key)
+                    if compiled is not None and cache_obj is not None:
+                        cache_obj.put(key, compiled)  # warm L1 from the L2 hit
         if compiled is not None:
             return _stats_from_compiled(compiled, sigma, noise, root_seed, tuple(trial_key), batch_queries, gamma)
 
@@ -552,7 +568,9 @@ def stream_design_stats(
         dstar = np.zeros(n, dtype=np.int64)
         delta = np.zeros(n, dtype=np.int64)
 
-        collected: "list[np.ndarray] | None" = [] if cache_obj is not None and exec_backend.workers == 1 else None
+        collected: "list[np.ndarray] | None" = (
+            [] if (cache_obj is not None or store_obj is not None) and exec_backend.workers == 1 else None
+        )
         if exec_backend.workers == 1:
             family = StreamFamily(root_seed)
             workspace = kern.make_stream_workspace()
@@ -579,7 +597,7 @@ def stream_design_stats(
             finally:
                 shared_sigma.destroy()
 
-    if cache_obj is not None and key is not None:
+    if (cache_obj is not None or store_obj is not None) and key is not None:
         # Compile-on-miss: the streamed structure (Δ*/Δ already accumulated)
         # becomes a cached artifact, so the next call with this key skips
         # streaming entirely.  The worker path never shipped edges back to
@@ -590,7 +608,11 @@ def stream_design_stats(
         indptr = np.arange(m + 1, dtype=np.int64) * gamma
         # The constructor copies the degree vectors, so the writable arrays
         # returned in this call's DesignStats stay independent of the cache.
-        cache_obj.put(key, CompiledDesign(PoolingDesign(n, entries, indptr), dstar=dstar, delta=delta, key=key))
+        artifact = CompiledDesign(PoolingDesign(n, entries, indptr), dstar=dstar, delta=delta, key=key)
+        if cache_obj is not None:
+            cache_obj.put(key, artifact)
+        if store_obj is not None:
+            store_obj.publish(artifact)  # the next *process* decodes warm too
 
     return DesignStats(y=y, psi=psi, dstar=dstar, delta=delta, n=n, m=m, gamma=gamma)
 

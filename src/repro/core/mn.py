@@ -35,6 +35,7 @@ from repro.util.validation import check_positive_int, check_weight_vector
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine builds on core)
     from repro.designs.cache import DesignCache
     from repro.designs.compiled import CompiledDesign, DesignKey
+    from repro.designs.store import DesignStore
     from repro.designs.serving import CompiledMNDecoder
     from repro.engine.backend import Backend
     from repro.noise.models import NoiseModel
@@ -73,6 +74,18 @@ class MNDecoder:
         Optional :class:`~repro.engine.backend.Backend`; when given, its
         ``blocks`` supersedes the explicit ``blocks`` field so one object
         configures the whole pipeline.
+
+    Examples
+    --------
+    Decode the paper's worked Fig. 1 example exactly:
+
+    >>> import numpy as np
+    >>> from repro.core.design import PoolingDesign
+    >>> from repro.core.mn import mn_reconstruct
+    >>> design, sigma = PoolingDesign.fig1_example()
+    >>> y = design.query_results(sigma)          # what the lab reports back
+    >>> bool(np.array_equal(mn_reconstruct(design, y, k=3), sigma))
+    True
     """
 
     blocks: int = 1
@@ -135,6 +148,7 @@ class MNDecoder:
         design: "CompiledDesign | PoolingDesign | DesignKey",
         *,
         cache: "DesignCache | None" = None,
+        store: "DesignStore | None" = None,
     ) -> "CompiledMNDecoder":
         """Bind this decoder to a compiled design for decode-only serving.
 
@@ -142,7 +156,11 @@ class MNDecoder:
         materialised :class:`PoolingDesign` (compiled content-addressed), or
         a :class:`~repro.designs.compiled.DesignKey` (design regenerated
         from the key).  With ``cache=`` (or the ambient
-        ``REPRO_DESIGN_CACHE``), compilation is looked up / admitted there.
+        ``REPRO_DESIGN_CACHE``), compilation is looked up / admitted there;
+        with ``store=`` (or the ambient ``REPRO_DESIGN_STORE``), the
+        file-backed cross-process L2 is consulted beneath the cache, so a
+        key any process on the machine already compiled mmap-attaches
+        instead of recompiling.
 
         The returned :class:`~repro.designs.serving.CompiledMNDecoder`
         exposes ``decode(y, k)`` / ``decode_batch(Y, k)`` — the hot path
@@ -152,14 +170,16 @@ class MNDecoder:
         from repro.designs.cache import resolve_design_cache
         from repro.designs.compiled import CompiledDesign, DesignKey, compile_design, compile_from_key
         from repro.designs.serving import CompiledMNDecoder
+        from repro.designs.store import resolve_design_store
 
         cache_obj = resolve_design_cache(cache)
+        store_obj = resolve_design_store(store)
         if isinstance(design, CompiledDesign):
             compiled = design
         elif isinstance(design, DesignKey):
-            compiled = compile_from_key(design, cache=cache_obj)
+            compiled = compile_from_key(design, cache=cache_obj, store=store_obj)
         elif isinstance(design, PoolingDesign):
-            compiled = compile_design(design, cache=cache_obj)
+            compiled = compile_design(design, cache=cache_obj, store=store_obj)
         else:
             raise TypeError(f"cannot compile a {type(design).__name__}; expected CompiledDesign, PoolingDesign or DesignKey")
         return CompiledMNDecoder(compiled, self)
@@ -269,6 +289,7 @@ def run_mn_trial(
     noise: "NoiseModel | None" = None,
     design: "CompiledDesign | None" = None,
     cache: "DesignCache | None" = None,
+    store: "DesignStore | None" = None,
 ) -> MNTrialResult:
     """Simulate one full teacher–student round and decode with MN.
 
@@ -288,10 +309,11 @@ def run_mn_trial(
     ``calibrate_k`` still hands the decoder the exact weight, matching the
     paper's accounting where the calibration query is separate.
 
-    ``design``/``cache`` forward to
+    ``design``/``cache``/``store`` forward to
     :func:`~repro.core.design.stream_design_stats`: a compiled design with
-    this trial's stream key (or a cache hit on it) skips the streaming
-    simulation while producing bit-identical statistics.
+    this trial's stream key (or a cache/store hit on it) skips the
+    streaming simulation while producing bit-identical statistics — the
+    store making that amortisation hold across processes, not just calls.
 
     Returns
     -------
@@ -319,6 +341,7 @@ def run_mn_trial(
         noise=noise,
         design=design,
         cache=cache,
+        store=store,
     )
     k_used = int(sigma.sum()) if calibrate_k else k
     decoder_blocks = backend.blocks if backend is not None else max(1, workers)

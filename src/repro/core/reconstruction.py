@@ -23,6 +23,7 @@ from repro.util.validation import check_positive_int
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine builds on core)
     from repro.designs.cache import DesignCache
     from repro.designs.compiled import CompiledDesign
+    from repro.designs.store import DesignStore
     from repro.engine.backend import Backend
     from repro.noise.models import NoiseModel
 
@@ -74,6 +75,7 @@ def reconstruct(
     repeats: int = 1,
     design: "CompiledDesign | PoolingDesign | None" = None,
     cache: "DesignCache | None" = None,
+    store: "DesignStore | None" = None,
 ) -> ReconstructionReport:
     """Recover a k-sparse binary signal through an additive query oracle.
 
@@ -134,6 +136,12 @@ def reconstruct(
         A :class:`~repro.designs.cache.DesignCache` used to look up /
         admit the compiled form of ``design`` (content-addressed), so
         repeated calls against one deployed design compile it once.
+    store:
+        A :class:`~repro.designs.store.DesignStore` — the file-backed,
+        cross-process L2 under the cache: the compiled form of ``design``
+        is mmap-attached from (or published to) the store, so repeated
+        *processes* serving one deployed design compile it once per
+        machine, not once per process.
 
     Returns
     -------
@@ -150,7 +158,7 @@ def reconstruct(
     repeats = check_positive_int(repeats, "repeats")
     rng = rng if rng is not None else np.random.default_rng()
 
-    compiled = _resolve_reconstruct_design(design, cache, n, m)
+    compiled = _resolve_reconstruct_design(design, cache, n, m, store=store)
     design = compiled.design if compiled is not None else PoolingDesign.sample(n, m, rng, gamma=gamma)
     pools = [design.pool(j) for j in range(design.m)]
     calibrated = k is None
@@ -206,14 +214,20 @@ def _resolve_reconstruct_design(
     cache: "DesignCache | None",
     n: int,
     m: int,
+    store: "DesignStore | None" = None,
 ) -> "CompiledDesign | None":
     """Validate and compile an explicit ``design=`` argument (``None`` passes through)."""
     if design is None:
         return None
     from repro.designs.cache import resolve_design_cache
     from repro.designs.compiled import CompiledDesign, compile_design
+    from repro.designs.store import resolve_design_store
 
-    compiled = design if isinstance(design, CompiledDesign) else compile_design(design, cache=resolve_design_cache(cache))
+    compiled = (
+        design
+        if isinstance(design, CompiledDesign)
+        else compile_design(design, cache=resolve_design_cache(cache), store=resolve_design_store(store))
+    )
     if compiled.n != n or compiled.m != m:
         raise ValueError(f"design= has (n={compiled.n}, m={compiled.m}); this call asked for (n={n}, m={m})")
     return compiled

@@ -18,7 +18,8 @@ compiled extras) stay loadable by both functions.
 
 from __future__ import annotations
 
-import json
+import zipfile
+import zlib
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
@@ -32,37 +33,6 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (designs builds on co
 __all__ = ["save_design", "load_design", "load_compiled_design", "FORMAT_VERSION"]
 
 FORMAT_VERSION = 1
-
-
-def _key_to_json(key) -> str:
-    return json.dumps(
-        {
-            "n": key.n,
-            "m": key.m,
-            "gamma": key.gamma,
-            "root_seed": key.root_seed,
-            "trial_key": list(key.trial_key),
-            "batch_queries": key.batch_queries,
-        }
-    )
-
-
-def _key_from_json(payload: str):
-    from repro.designs.compiled import DesignKey
-
-    try:
-        raw = json.loads(payload)
-        trial_key = tuple(t if isinstance(t, str) else int(t) for t in raw["trial_key"])
-        return DesignKey(
-            n=int(raw["n"]),
-            m=int(raw["m"]),
-            gamma=raw["gamma"],
-            root_seed=int(raw["root_seed"]),
-            trial_key=trial_key,
-            batch_queries=int(raw["batch_queries"]),
-        )
-    except (ValueError, KeyError, TypeError) as exc:
-        raise ValueError(f"corrupted compiled-design key: {exc}") from exc
 
 
 def save_design(path: "str | Path", design: "PoolingDesign | CompiledDesign", y: "np.ndarray | None" = None) -> Path:
@@ -94,7 +64,7 @@ def save_design(path: "str | Path", design: "PoolingDesign | CompiledDesign", y:
     if compiled is not None:
         payload["compiled_dstar"] = compiled.dstar
         payload["compiled_delta"] = compiled.delta
-        payload["compiled_key"] = np.asarray(_key_to_json(compiled.key))
+        payload["compiled_key"] = np.asarray(compiled.key.to_json())
     if y is not None:
         y = np.asarray(y, dtype=np.int64)
         if y.shape != (design.m,):
@@ -107,24 +77,32 @@ def save_design(path: "str | Path", design: "PoolingDesign | CompiledDesign", y:
 def _load_raw(path: "str | Path") -> "tuple[PoolingDesign, Optional[np.ndarray], dict]":
     path = Path(path)
     extras: dict = {}
-    with np.load(path) as data:
-        for field in ("format_version", "n", "entries", "indptr"):
-            if field not in data:
-                raise ValueError(f"{path} is not a pooled-repro design file (missing {field!r})")
-        version = int(data["format_version"])
-        if version != FORMAT_VERSION:
-            raise ValueError(f"unsupported design file version {version} (expected {FORMAT_VERSION})")
-        design = PoolingDesign(int(data["n"]), data["entries"], data["indptr"])
-        y = data["y"].astype(np.int64) if "y" in data else None
-        if "compiled_key" in data:
-            for field in ("compiled_dstar", "compiled_delta"):
+    # A concurrent partial write (or a torn copy) must surface as a clean
+    # ValueError, not a numpy/zipfile traceback: everything from "not a
+    # zip" through "member truncated mid-array" funnels into one message.
+    try:
+        with np.load(path) as data:
+            for field in ("format_version", "n", "entries", "indptr"):
                 if field not in data:
-                    raise ValueError(f"{path} carries compiled extras but is missing {field!r}")
-            extras = {
-                "dstar": data["compiled_dstar"].astype(np.int64),
-                "delta": data["compiled_delta"].astype(np.int64),
-                "key": str(data["compiled_key"]),
-            }
+                    raise ValueError(f"{path} is not a pooled-repro design file (missing {field!r})")
+            version = int(data["format_version"])
+            if version != FORMAT_VERSION:
+                raise ValueError(f"unsupported design file version {version} (expected {FORMAT_VERSION})")
+            design = PoolingDesign(int(data["n"]), data["entries"], data["indptr"])
+            y = data["y"].astype(np.int64) if "y" in data else None
+            if "compiled_key" in data:
+                for field in ("compiled_dstar", "compiled_delta"):
+                    if field not in data:
+                        raise ValueError(f"{path} carries compiled extras but is missing {field!r}")
+                extras = {
+                    "dstar": data["compiled_dstar"].astype(np.int64),
+                    "delta": data["compiled_delta"].astype(np.int64),
+                    "key": str(data["compiled_key"]),
+                }
+    except (FileNotFoundError, PermissionError, IsADirectoryError):
+        raise  # access problems are caller/operator errors, not corruption
+    except (zipfile.BadZipFile, zlib.error, EOFError, OSError, KeyError) as exc:
+        raise ValueError(f"{path} is truncated or corrupted (partial write?): {exc}") from exc
     if y is not None and y.shape != (design.m,):
         raise ValueError("stored y length does not match the stored design")
     return design, y, extras
@@ -175,5 +153,7 @@ def load_compiled_design(path: "str | Path") -> "tuple[CompiledDesign, Optional[
         raise ValueError("stored delta is inconsistent with the stored edge structure")
     if np.any(dstar < 0) or np.any(dstar > np.minimum(delta, design.m)) or int(dstar.sum()) > design.entries.size:
         raise ValueError("stored dstar violates its degree bounds")
-    key = _key_from_json(extras["key"])
+    from repro.designs.compiled import DesignKey
+
+    key = DesignKey.from_json(extras["key"])
     return CompiledDesign(design, dstar=dstar, delta=delta, key=key), y

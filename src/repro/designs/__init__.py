@@ -12,15 +12,20 @@ time and reused across calls, batches and processes:
   resident dense ``Ψ`` block);
 * :mod:`repro.designs.cache` — :class:`DesignCache`, the byte-budgeted LRU
   with hit/miss counters (ambient opt-in via ``REPRO_DESIGN_CACHE=1``);
+* :mod:`repro.designs.store` — :class:`DesignStore`, the file-backed,
+  mmap-read, cross-process L2 beneath the cache (content-addressed
+  directory, atomic publication, single-flight compilation across
+  processes, byte-budgeted GC; ambient opt-in via ``REPRO_DESIGN_STORE``);
 * :mod:`repro.designs.sharing` — shared-memory residency so
   :class:`~repro.engine.backend.SharedMemBackend` workers attach to a
-  compiled design zero-copy instead of re-deriving state per task;
+  compiled design — dense ``Ψ`` block included — zero-copy instead of
+  re-deriving state per task;
 * :mod:`repro.designs.serving` — :class:`CompiledMNDecoder`, the
   decode-only hot path behind ``MNDecoder.compile(...)``.
 
 Layering: ``core`` → ``designs`` → ``engine``/``experiments``/``cli``.
-Core entry points accept ``design=``/``cache=`` and import this package
-lazily, so the one-shot paths never pay for it.
+Core entry points accept ``design=``/``cache=``/``store=`` and import
+this package lazily, so the one-shot paths never pay for it.
 """
 
 from repro.designs.cache import (
@@ -34,6 +39,17 @@ from repro.designs.cache import (
 from repro.designs.compiled import CompiledDesign, DesignKey, compile_design, compile_from_key
 from repro.designs.serving import CompiledMNDecoder
 from repro.designs.sharing import CompiledDesignDescriptor, SharedCompiledDesign, attach_compiled
+from repro.designs.store import (
+    DESIGN_STORE_BYTES_ENV,
+    DESIGN_STORE_ENV,
+    DesignStore,
+    StoreEntry,
+    StoreStats,
+    default_design_store,
+    fetch_compiled,
+    reset_default_design_store,
+    resolve_design_store,
+)
 
 __all__ = [
     "DesignKey",
@@ -46,6 +62,15 @@ __all__ = [
     "default_design_cache",
     "reset_default_design_cache",
     "DESIGN_CACHE_ENV",
+    "DesignStore",
+    "StoreStats",
+    "StoreEntry",
+    "fetch_compiled",
+    "resolve_design_store",
+    "default_design_store",
+    "reset_default_design_store",
+    "DESIGN_STORE_ENV",
+    "DESIGN_STORE_BYTES_ENV",
     "CompiledMNDecoder",
     "SharedCompiledDesign",
     "CompiledDesignDescriptor",

@@ -67,6 +67,22 @@ class DesignCache:
     Thread-safe; all operations are O(1) amortised.  An artifact larger
     than the whole budget is returned to the caller but never admitted
     (it would immediately evict everything else for a single-use entry).
+
+    Parameters
+    ----------
+    max_bytes:
+        Byte budget (default :data:`DEFAULT_CACHE_BYTES`); accounting uses
+        each artifact's :attr:`~repro.designs.compiled.CompiledDesign.nbytes`.
+
+    Examples
+    --------
+    >>> from repro.designs import DesignCache, DesignKey, compile_from_key
+    >>> cache = DesignCache()
+    >>> key = DesignKey.for_stream(100, 20, root_seed=3)
+    >>> a = cache.get_or_compile(key, lambda: compile_from_key(key))
+    >>> b = cache.get_or_compile(key, lambda: compile_from_key(key))
+    >>> a is b, cache.stats.hits, cache.stats.misses
+    (True, 1, 1)
     """
 
     def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES):

@@ -25,6 +25,7 @@ noise.
 from __future__ import annotations
 
 import hashlib
+import json
 import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
@@ -38,6 +39,7 @@ from repro.util.validation import check_nonneg_int, check_positive_int
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.designs.cache import DesignCache
+    from repro.designs.store import DesignStore
 
 __all__ = ["DesignKey", "CompiledDesign", "compile_design", "compile_from_key", "BLOCK_RESIDENCY_LIMIT"]
 
@@ -133,6 +135,14 @@ class DesignKey:
         ``"sampled"`` (one keyed generator), ``"content"`` (SHA-256 of a
         materialised design) or ``"custom"`` (caller-tagged keys that only
         regenerate through an explicit factory, e.g. noisy-trial designs).
+
+        Examples
+        --------
+        >>> from repro.designs import DesignKey
+        >>> DesignKey.for_stream(100, 20, root_seed=0).scheme
+        'stream'
+        >>> DesignKey.for_sampled(100, 20, root_seed=0, tag=7, index=3).scheme
+        'sampled'
         """
         if self.trial_key and isinstance(self.trial_key[0], str):
             if self.trial_key[0] == SAMPLED_SCHEME:
@@ -141,6 +151,55 @@ class DesignKey:
                 return "content"
             return "custom"
         return "stream"
+
+    def to_json(self) -> str:
+        """Canonical JSON form — the persistence format of the key.
+
+        Used both by :mod:`repro.core.serialization` (``.npz`` artifacts)
+        and :mod:`repro.designs.store` (entry metadata and the content
+        digest a store entry is addressed by).  Round-trips exactly through
+        :meth:`from_json`:
+
+        >>> from repro.designs import DesignKey
+        >>> key = DesignKey.for_stream(100, 20, root_seed=5)
+        >>> DesignKey.from_json(key.to_json()) == key
+        True
+        """
+        return json.dumps(
+            {
+                "n": self.n,
+                "m": self.m,
+                "gamma": self.gamma,
+                "root_seed": self.root_seed,
+                "trial_key": list(self.trial_key),
+                "batch_queries": self.batch_queries,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "DesignKey":
+        """Parse a key serialised by :meth:`to_json`.
+
+        Raises
+        ------
+        ValueError
+            On malformed JSON or missing/ill-typed fields (a corrupted
+            artifact must fail loudly, not decode under the wrong key).
+        """
+        try:
+            raw = json.loads(payload)
+            trial_key = tuple(t if isinstance(t, str) else int(t) for t in raw["trial_key"])
+            return cls(
+                n=int(raw["n"]),
+                m=int(raw["m"]),
+                gamma=raw["gamma"],
+                root_seed=int(raw["root_seed"]),
+                trial_key=trial_key,
+                batch_queries=int(raw["batch_queries"]),
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ValueError(f"corrupted compiled-design key: {exc}") from exc
 
 
 class CompiledDesign:
@@ -166,6 +225,15 @@ class CompiledDesign:
         Pass ``False`` to adopt ``dstar``/``delta`` zero-copy — the arrays
         are then frozen *in place*.  Reserved for owners of the buffers,
         such as shared-memory attachers wrapping their own segments.
+
+    Examples
+    --------
+    >>> from repro.designs import DesignKey, compile_from_key
+    >>> compiled = compile_from_key(DesignKey.for_stream(100, 20, root_seed=3))
+    >>> (compiled.n, compiled.m, compiled.gamma)
+    (100, 20, 50)
+    >>> compiled.dstar.flags.writeable        # compiled artifacts are frozen
+    False
     """
 
     def __init__(
@@ -253,6 +321,25 @@ class CompiledDesign:
                     self._block = block
         return self._block
 
+    def adopt_block(self, block: np.ndarray) -> None:
+        """Adopt an externally materialised dense block zero-copy.
+
+        The shared-memory layer (:mod:`repro.designs.sharing`) publishes
+        the parent's ``(m, n)`` incidence block once; workers adopt the
+        attached segment here so they never rebuild (or privately hold)
+        up to 256MB per process.  The block's content is defined entirely
+        by the design, so adopting a published block can never change a
+        decode — only skip its materialisation.
+        """
+        block = np.asarray(block)
+        if block.shape != (self.m, self.n) or block.dtype != np.float64:
+            raise ValueError(f"adopted block must be float64 ({self.m}, {self.n}), got {block.dtype} {block.shape}")
+        if not self.block_resident:
+            raise ValueError("design exceeds the block residency budget; nothing should adopt a block for it")
+        block.setflags(write=False)
+        with self._block_lock:
+            self._block = block
+
     def psi(self, y: np.ndarray) -> np.ndarray:
         """``Ψ`` for ``(m,)`` or ``(B, m)`` results — one GEMM against the block.
 
@@ -311,29 +398,43 @@ def _stream_entries(key: DesignKey) -> np.ndarray:
     return np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
 
 
-def compile_design(design: PoolingDesign, *, key: "DesignKey | None" = None, cache: "DesignCache | None" = None) -> CompiledDesign:
+def compile_design(
+    design: PoolingDesign,
+    *,
+    key: "DesignKey | None" = None,
+    cache: "DesignCache | None" = None,
+    store: "DesignStore | None" = None,
+) -> CompiledDesign:
     """Compile a materialised design (content-addressed unless ``key`` is given).
 
-    With ``cache`` given, the compiled artifact is looked up / stored under
-    its key, so repeated compilations of the same design content are free.
+    With ``cache`` and/or ``store`` given, the compiled artifact is looked
+    up **L1 cache → L2 store** and published to both on a miss
+    (:func:`~repro.designs.store.fetch_compiled`), so repeated
+    compilations of the same design content are free — across calls
+    (cache) and across processes (store).
     """
     resolved_key = key if key is not None else DesignKey.for_content(design)
-    if cache is not None:
-        return cache.get_or_compile(resolved_key, lambda: CompiledDesign(design, key=resolved_key))
-    return CompiledDesign(design, key=resolved_key)
+    if cache is None and store is None:
+        return CompiledDesign(design, key=resolved_key)
+    from repro.designs.store import fetch_compiled
+
+    return fetch_compiled(resolved_key, lambda: CompiledDesign(design, key=resolved_key), cache=cache, store=store)
 
 
-def compile_from_key(key: DesignKey, *, cache: "DesignCache | None" = None) -> CompiledDesign:
+def compile_from_key(key: DesignKey, *, cache: "DesignCache | None" = None, store: "DesignStore | None" = None) -> CompiledDesign:
     """Regenerate and compile the design a :class:`DesignKey` addresses.
 
     Supports the ``stream`` scheme (batch-keyed regeneration, exactly the
     edges :func:`~repro.core.design.stream_design_stats` would draw) and the
     ``sampled`` scheme (grid-point designs drawn whole from a keyed
     generator).  ``content`` keys address data that only ever existed
-    materialised — compile those via :func:`compile_design`.
+    materialised — compile those via :func:`compile_design`.  ``cache``
+    and ``store`` layer the lookup as in :func:`compile_design`.
     """
-    if cache is not None:
-        return cache.get_or_compile(key, lambda: compile_from_key(key))
+    if cache is not None or store is not None:
+        from repro.designs.store import fetch_compiled
+
+        return fetch_compiled(key, lambda: compile_from_key(key), cache=cache, store=store)
     if key.scheme == "stream":
         gamma = int(key.gamma)
         entries = _stream_entries(key)

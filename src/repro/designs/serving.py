@@ -36,9 +36,10 @@ def _psi_rows_task(payload, cache):
     """Worker task: ``Ψ`` rows for a slice of the result batch.
 
     The compiled design arrives as a shared-memory descriptor and is
-    attached (and structurally validated) once per worker; the lazily
-    materialised incidence block likewise persists in the worker cache, so
-    steady-state tasks run a single GEMM.
+    attached (and structurally validated) once per worker.  The dense
+    incidence block travels with the publication, so workers adopt the
+    parent's block zero-copy and every task — including the first — runs
+    a single GEMM with no per-worker block materialisation.
     """
     descriptor, y_rows = payload
     compiled = attach_compiled(descriptor, cache)

@@ -15,6 +15,14 @@ POSIX shared memory and let every worker attach zero-copy:
 
 The compiled arrays (entries, indptr, ``Δ*``, ``Δ``) cross the process
 boundary by name, never by value; only result rows travel with tasks.
+
+The dense ``Ψ`` block itself is shared the same way: when the compiled
+design's block is residency-eligible, :meth:`SharedCompiledDesign.publish`
+materialises it once in the parent and places it in its own segment, and
+attachers adopt it zero-copy
+(:meth:`~repro.designs.compiled.CompiledDesign.adopt_block`) — so a pool
+of ``W`` workers holds **one** physical copy of the up-to-256MB block
+instead of ``W`` private rematerialisations.
 """
 
 from __future__ import annotations
@@ -43,7 +51,13 @@ _ATTACH_SLOT = "compiled-design-attachments"
 
 @dataclass(frozen=True)
 class CompiledDesignDescriptor:
-    """Picklable handle to a published compiled design (names, not data)."""
+    """Picklable handle to a published compiled design (names, not data).
+
+    ``block`` is the optional segment holding the dense ``(m, n)`` ``Ψ``
+    incidence block — present when the publisher shared it (the default
+    for residency-eligible designs), absent for oversized designs and for
+    descriptors pickled by older publishers.
+    """
 
     n: int
     key: DesignKey
@@ -51,6 +65,7 @@ class CompiledDesignDescriptor:
     indptr: SharedArrayDescriptor
     dstar: SharedArrayDescriptor
     delta: SharedArrayDescriptor
+    block: "SharedArrayDescriptor | None" = None
 
     @property
     def token(self) -> str:
@@ -71,8 +86,17 @@ class SharedCompiledDesign:
         self._arrays = arrays
 
     @classmethod
-    def publish(cls, compiled: CompiledDesign) -> "SharedCompiledDesign":
-        """Copy the compiled arrays into named shared-memory segments."""
+    def publish(cls, compiled: CompiledDesign, *, include_block: bool = True) -> "SharedCompiledDesign":
+        """Copy the compiled arrays into named shared-memory segments.
+
+        With ``include_block`` (the default), a residency-eligible dense
+        ``Ψ`` block is materialised once here in the parent and published
+        alongside the structural arrays, so attachers adopt it instead of
+        each rebuilding their own copy.  Oversized designs (over
+        :data:`~repro.designs.compiled.BLOCK_RESIDENCY_LIMIT`) never ship
+        a block — workers fall back to the chunked kernel path exactly as
+        the parent does.
+        """
         design = compiled.design
         arrays = {
             "entries": SharedArray.from_array(design.entries),
@@ -80,10 +104,13 @@ class SharedCompiledDesign:
             "dstar": SharedArray.from_array(compiled.dstar),
             "delta": SharedArray.from_array(compiled.delta),
         }
+        if include_block and compiled.block_resident:
+            arrays["block"] = SharedArray.from_array(compiled.incidence_block())
         return cls(compiled, arrays)
 
     @property
     def descriptor(self) -> CompiledDesignDescriptor:
+        block = self._arrays.get("block")
         return CompiledDesignDescriptor(
             n=self.compiled.n,
             key=self.compiled.key,
@@ -91,6 +118,7 @@ class SharedCompiledDesign:
             indptr=self._arrays["indptr"].descriptor,
             dstar=self._arrays["dstar"].descriptor,
             delta=self._arrays["delta"].descriptor,
+            block=block.descriptor if block is not None else None,
         )
 
     def destroy(self) -> None:
@@ -131,6 +159,11 @@ def attach_compiled(descriptor: CompiledDesignDescriptor, cache: dict) -> Compil
             key=descriptor.key,
             copy=False,  # wrap the shared segments themselves — that is the point
         )
+        if descriptor.block is not None:
+            # The parent shipped its dense Ψ block: adopt it zero-copy so
+            # this worker's decodes start GEMM-ready with no private copy.
+            attachments["block"] = SharedArray.attach(descriptor.block)
+            compiled.adopt_block(attachments["block"].array)
         # Keep the attachments alive alongside the compiled view; the table
         # owns both until eviction (tasks only ever return fresh arrays, so
         # closing an evicted publication's mappings is safe).

@@ -1,0 +1,613 @@
+"""The cross-process compiled-design store: a file-backed L2 under the cache.
+
+:class:`~repro.designs.cache.DesignCache` amortises compilation *within*
+one process; it dies with the process.  Forked grid workers and repeated
+CLI invocations therefore each re-compile the same
+:class:`~repro.designs.compiled.DesignKey` — exactly the redundancy a
+deployment serving one small set of designs cannot afford.
+:class:`DesignStore` persists compiled artifacts in a content-addressed
+directory so that every process on the machine shares one compilation:
+
+* **layout** — one subdirectory per key, named by the SHA-256 of the key's
+  canonical JSON; inside it ``meta.json`` plus one ``.npy`` per compiled
+  array (``entries``, ``indptr``, ``dstar``, ``delta``);
+* **zero-copy reads** — :meth:`DesignStore.get` attaches the arrays with
+  ``np.load(mmap_mode="r")``, so a warm process pays page faults, not
+  array copies, and N processes share one page cache;
+* **atomic publication** — artifacts are written into a hidden temp
+  directory and renamed into place, so readers never observe a partial
+  entry (a lost publication race is silently discarded);
+* **single-flight compilation** — :meth:`get_or_compile` serialises cold
+  compilations of one key *across processes* through an advisory
+  ``flock``, so a fleet of workers starting together compiles once;
+* **byte-budgeted eviction** — :meth:`gc` removes least-recently-used
+  entries over the budget, skipping any entry currently mmap-attached by
+  a reader (readers hold a shared lock for the life of their mapping);
+* **telemetry** — per-instance :attr:`stats` counters shaped like
+  :class:`~repro.designs.cache.CacheStats`, plus cumulative cross-process
+  counters persisted in ``stats.json``.
+
+Layered lookups go **L1 → L2 → compile**: :func:`fetch_compiled` composes
+a :class:`DesignCache` over a :class:`DesignStore` so a hit in either
+layer skips compilation and a miss publishes to both.  Like the cache,
+the store is opt-in: entry points take ``store=``, and the ambient default
+(:func:`resolve_design_store`) is **off** unless ``REPRO_DESIGN_STORE``
+names a directory.  Equal keys address bit-identical designs, so neither
+layer can ever change a result — only skip work.
+
+Examples
+--------
+>>> import tempfile
+>>> from repro.designs import DesignKey, DesignStore, compile_from_key
+>>> key = DesignKey.for_stream(64, 12, root_seed=7)
+>>> with tempfile.TemporaryDirectory() as root:
+...     store = DesignStore(root)
+...     cold = store.get_or_compile(key, lambda: compile_from_key(key))
+...     warm = store.get(key)                     # second lookup: mmap attach
+...     bool((cold.dstar == warm.dstar).all())
+True
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterator
+
+import numpy as np
+
+from repro.designs.compiled import CompiledDesign, DesignKey
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.designs.cache import DesignCache
+
+try:  # POSIX advisory locking; degraded (still correct single-process) elsewhere
+    import fcntl
+
+    _HAS_FLOCK = True
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+    _HAS_FLOCK = False
+
+__all__ = [
+    "DesignStore",
+    "StoreStats",
+    "StoreEntry",
+    "fetch_compiled",
+    "resolve_design_store",
+    "default_design_store",
+    "reset_default_design_store",
+    "DESIGN_STORE_ENV",
+    "DESIGN_STORE_BYTES_ENV",
+    "STORE_FORMAT_VERSION",
+]
+
+#: Environment variable naming the ambient store directory.  Unset (or
+#: blank) leaves every path store-free — bit-identical to the store never
+#: existing.  Explicit ``store=`` arguments always win.
+DESIGN_STORE_ENV = "REPRO_DESIGN_STORE"
+
+#: Optional environment byte budget for the ambient store (plain integer).
+#: Unset means unbounded — eviction then only runs via ``design store gc``.
+DESIGN_STORE_BYTES_ENV = "REPRO_DESIGN_STORE_BYTES"
+
+#: On-disk entry format; bumped on layout changes so stale entries are
+#: treated as misses instead of being misread.
+STORE_FORMAT_VERSION = 1
+
+#: The compiled arrays every entry persists, in publication order.
+_ARRAY_FIELDS = ("entries", "indptr", "dstar", "delta")
+
+_META_NAME = "meta.json"
+_LOCK_NAME = ".lock"
+_USED_NAME = ".last-used"
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Counters snapshot, unified with :class:`~repro.designs.cache.CacheStats`.
+
+    ``hits``/``misses``/``evictions`` count this instance's lifetime (the
+    in-process view); ``publishes`` counts artifacts this instance wrote.
+    ``entries``/``nbytes`` describe the directory *now* — shared state, so
+    they reflect every process's activity.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    publishes: int
+    entries: int
+    nbytes: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (``0.0`` before the first lookup)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One persisted artifact: its key, footprint and recency."""
+
+    key: DesignKey
+    digest: str
+    nbytes: int
+    last_used: float
+    path: Path
+
+
+class _EntryReadLock:
+    """Shared advisory lock held for the lifetime of an mmap attachment.
+
+    :meth:`DesignStore.gc` takes the exclusive side non-blockingly, so an
+    entry can never be evicted while any process still holds read mappings
+    of its arrays.  The lock's lifetime is tied to the attached
+    :class:`~repro.designs.compiled.CompiledDesign` (which keeps a
+    reference), releasing automatically when the artifact is dropped.
+    """
+
+    def __init__(self, lock_path: Path):
+        # _fd must exist before anything can raise: a concurrent eviction
+        # between the caller's existence check and this open is an expected
+        # race, and __del__ on the half-constructed object must stay silent.
+        self._fd: "int | None" = None
+        fd = os.open(lock_path, os.O_RDONLY)
+        if _HAS_FLOCK:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_SH)
+            except OSError:
+                os.close(fd)
+                raise
+        self._fd = fd
+
+    def close(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)  # closing the fd releases the flock
+            self._fd = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        self.close()
+
+
+@contextmanager
+def _flocked(path: Path, exclusive: bool = True) -> Iterator[int]:
+    """Hold an advisory lock on ``path`` for the duration of the block."""
+    fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+    try:
+        if _HAS_FLOCK:
+            fcntl.flock(fd, fcntl.LOCK_EX if exclusive else fcntl.LOCK_SH)
+        yield fd
+    finally:
+        os.close(fd)
+
+
+class DesignStore:
+    """File-backed, mmap-read, cross-process compiled-design store.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (created if missing).  Safe to share
+        between any number of concurrent processes on one machine.
+    max_bytes:
+        Byte budget enforced after every publication (and by :meth:`gc`).
+        ``None`` (default) disables automatic eviction.
+    keep_blocks:
+        Persist the dense ``Ψ`` incidence block alongside the structural
+        arrays for residency-eligible designs (the default).  Publication
+        then materialises the block once, and every warm attach adopts it
+        as a read-only memory map — so a second CLI invocation or forked
+        worker decodes with **no** block rebuild (the dominant warm-path
+        cost) and all attached processes share one page-cached copy.
+        Pass ``False`` for a lean store holding structure only.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.designs import DesignKey, DesignStore, compile_from_key
+    >>> key = DesignKey.for_stream(32, 8, root_seed=1)
+    >>> with tempfile.TemporaryDirectory() as root:
+    ...     store = DesignStore(root)
+    ...     _ = store.get_or_compile(key, lambda: compile_from_key(key))
+    ...     store.stats.publishes, store.stats.entries
+    (1, 1)
+    """
+
+    def __init__(self, root: "str | Path", max_bytes: "int | None" = None, *, keep_blocks: bool = True):
+        if max_bytes is not None and max_bytes <= 0:
+            raise ValueError("max_bytes must be positive (or None for unbounded)")
+        self.root = Path(root)
+        self.max_bytes = int(max_bytes) if max_bytes is not None else None
+        self.keep_blocks = bool(keep_blocks)
+        self._locks = self.root / ".locks"
+        self._locks.mkdir(parents=True, exist_ok=True)
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._publishes = 0
+
+    # -- addressing -------------------------------------------------------------
+
+    @staticmethod
+    def digest(key: DesignKey) -> str:
+        """Content address of ``key``: SHA-256 of its canonical JSON."""
+        import hashlib
+
+        return hashlib.sha256(key.to_json().encode("ascii")).hexdigest()
+
+    def entry_dir(self, key: DesignKey) -> Path:
+        """Directory that holds (or would hold) ``key``'s artifact."""
+        return self.root / self.digest(key)
+
+    def __contains__(self, key: DesignKey) -> bool:
+        return (self.entry_dir(key) / _META_NAME).is_file()
+
+    # -- lookups ----------------------------------------------------------------
+
+    def get(self, key: DesignKey) -> "CompiledDesign | None":
+        """Attach ``key``'s persisted artifact zero-copy, or ``None``.
+
+        The returned :class:`~repro.designs.compiled.CompiledDesign` wraps
+        read-only memory maps of the stored arrays and holds a shared
+        advisory lock on the entry, so :meth:`gc` (in this or any other
+        process) will not evict it mid-read.  A corrupt or partially
+        deleted entry counts as a miss and is quarantined.
+        """
+        return self._lookup(key, count=True)
+
+    def _lookup(self, key: DesignKey, count: bool) -> "CompiledDesign | None":
+        path = self.entry_dir(key)
+        if not (path / _META_NAME).is_file():
+            if count:
+                self._misses += 1
+                self._bump(misses=1)
+            return None
+        try:
+            compiled = self._attach(path, key)
+        except (ValueError, OSError):
+            # Truncated arrays, a vanished file mid-attach, or meta that no
+            # longer matches the key: never serve garbage — drop the entry
+            # (best effort; an entry locked by a healthy reader is left).
+            if count:
+                self._misses += 1
+                self._bump(misses=1)
+            self._discard(path)
+            return None
+        self._hits += 1
+        self._bump(hits=1)
+        self._touch(path)
+        return compiled
+
+    def get_or_compile(self, key: DesignKey, factory: Callable[[], CompiledDesign]) -> CompiledDesign:
+        """``get(key)`` or compile-and-publish via ``factory`` on a miss.
+
+        Cold keys are compiled by exactly one process machine-wide: the
+        compilation runs under an exclusive per-key file lock, and every
+        waiter re-checks the store once the leader publishes.  Mirrors
+        :meth:`DesignCache.get_or_compile
+        <repro.designs.cache.DesignCache.get_or_compile>` one level down.
+        """
+        compiled = self.get(key)
+        if compiled is not None:
+            return compiled
+        with _flocked(self._locks / f"{self.digest(key)}.compile"):
+            # Re-check without re-counting the miss: if a leader published
+            # while this process waited on the lock, that is one logical
+            # lookup resolving warm, not a second miss.
+            compiled = self._lookup(key, count=False)
+            if compiled is not None:
+                return compiled
+            compiled = factory()
+            if compiled.key != key:
+                raise ValueError(f"factory produced key {compiled.key}, expected {key}")
+            self.publish(compiled)
+            return compiled
+
+    # -- publication ------------------------------------------------------------
+
+    def publish(self, compiled: CompiledDesign) -> Path:
+        """Persist a compiled artifact atomically; idempotent per key.
+
+        The arrays are written into a hidden temp directory and renamed
+        into place, so concurrent readers only ever see complete entries.
+        Losing a publication race to another process is silent — the
+        surviving entry is bit-identical by the key invariant.
+        """
+        path = self.entry_dir(compiled.key)
+        if (path / _META_NAME).is_file():
+            return path  # already published (same key => same bytes)
+        tmp = self.root / f".tmp-{path.name[:16]}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        tmp.mkdir(parents=True)
+        try:
+            design = compiled.design
+            arrays = {
+                "entries": design.entries,
+                "indptr": design.indptr,
+                "dstar": compiled.dstar,
+                "delta": compiled.delta,
+            }
+            nbytes = 0
+            for name in _ARRAY_FIELDS:
+                np.save(tmp / f"{name}.npy", np.ascontiguousarray(arrays[name]))
+                nbytes += (tmp / f"{name}.npy").stat().st_size
+            with_block = self.keep_blocks and compiled.block_resident
+            if with_block:
+                # Materialise (at most once — idempotent on the artifact)
+                # and persist the dense Ψ block: warm attachers then adopt
+                # it as a read-only mmap and skip the block rebuild that
+                # otherwise dominates a cold-process decode.
+                np.save(tmp / "block.npy", compiled.incidence_block())
+                nbytes += (tmp / "block.npy").stat().st_size
+            (tmp / _LOCK_NAME).touch()
+            (tmp / _USED_NAME).touch()
+            meta = {
+                "format_version": STORE_FORMAT_VERSION,
+                "key": json.loads(compiled.key.to_json()),
+                "n": compiled.n,
+                "m": compiled.m,
+                "nbytes": nbytes,
+                "block": with_block,
+            }
+            (tmp / _META_NAME).write_text(json.dumps(meta, sort_keys=True))
+            try:
+                os.rename(tmp, path)
+            except OSError:
+                if (path / _META_NAME).is_file():
+                    # Lost the race: an identical complete entry landed first.
+                    shutil.rmtree(tmp, ignore_errors=True)
+                    return path
+                # A *partial* directory squats on the address (a writer
+                # crashed mid-eviction or mid-copy): it is invisible to
+                # lookups and ls/gc, so left alone it would wedge this key
+                # into compile-every-call forever.  Clear it and retry once.
+                self._discard(path)
+                try:
+                    os.rename(tmp, path)
+                except OSError:
+                    shutil.rmtree(tmp, ignore_errors=True)
+                    return path
+        except BaseException:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+        self._publishes += 1
+        self._bump(publishes=1)
+        if self.max_bytes is not None:
+            self.gc()
+        return path
+
+    # -- attachment internals ---------------------------------------------------
+
+    def _attach(self, path: Path, key: DesignKey) -> CompiledDesign:
+        """Build a read-only, mmap-backed artifact from a complete entry."""
+        from repro.core.design import PoolingDesign
+
+        read_lock = _EntryReadLock(path / _LOCK_NAME)
+        try:
+            meta = json.loads((path / _META_NAME).read_text())
+        except (OSError, ValueError) as exc:
+            read_lock.close()
+            raise ValueError(f"unreadable store entry {path.name}: {exc}") from exc
+        if meta.get("format_version") != STORE_FORMAT_VERSION:
+            read_lock.close()
+            raise ValueError(f"store entry {path.name} has unsupported format {meta.get('format_version')!r}")
+        stored_key = DesignKey.from_json(json.dumps(meta.get("key", {})))
+        if stored_key != key:
+            read_lock.close()
+            raise ValueError(f"store entry {path.name} addresses a different key")
+        try:
+            loaded = {name: np.load(path / f"{name}.npy", mmap_mode="r") for name in _ARRAY_FIELDS}
+            design = PoolingDesign(key.n, loaded["entries"], loaded["indptr"])
+            compiled = CompiledDesign(design, dstar=loaded["dstar"], delta=loaded["delta"], key=key, copy=False)
+            if meta.get("block") and (path / "block.npy").is_file():
+                # Adopt the persisted Ψ block zero-copy: decode-ready with
+                # no scatter, and N attached processes share one page cache.
+                compiled.adopt_block(np.load(path / "block.npy", mmap_mode="r"))
+        except Exception as exc:
+            read_lock.close()
+            raise ValueError(f"corrupt store entry {path.name}: {exc}") from exc
+        # The lock must outlive every mapping; the artifact owns it.
+        compiled._store_read_lock = read_lock  # type: ignore[attr-defined]
+        return compiled
+
+    def _touch(self, path: Path) -> None:
+        """Refresh the entry's recency marker (LRU input for :meth:`gc`)."""
+        try:
+            os.utime(path / _USED_NAME)
+        except OSError:  # pragma: no cover - raced with an eviction
+            pass
+
+    def _discard(self, path: Path) -> bool:
+        """Remove one entry unless a reader holds its shared lock."""
+        lock_path = path / _LOCK_NAME
+        try:
+            fd = os.open(lock_path, os.O_RDWR)
+        except OSError:
+            shutil.rmtree(path, ignore_errors=True)  # no lock file: already partial
+            return True
+        try:
+            if _HAS_FLOCK:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                except OSError:
+                    return False  # mmap'd by a live reader somewhere
+            shutil.rmtree(path, ignore_errors=True)
+            return True
+        finally:
+            os.close(fd)
+
+    # -- maintenance ------------------------------------------------------------
+
+    def ls(self) -> "list[StoreEntry]":
+        """Every complete entry, most recently used first."""
+        out = []
+        for child in self.root.iterdir():
+            meta_path = child / _META_NAME
+            if child.name.startswith(".") or not meta_path.is_file():
+                continue
+            try:
+                meta = json.loads(meta_path.read_text())
+                key = DesignKey.from_json(json.dumps(meta["key"]))
+                used = (child / _USED_NAME).stat().st_mtime if (child / _USED_NAME).exists() else meta_path.stat().st_mtime
+                out.append(StoreEntry(key=key, digest=child.name, nbytes=int(meta["nbytes"]), last_used=used, path=child))
+            except (OSError, ValueError, KeyError, TypeError):
+                continue  # partial/corrupt entries are invisible (and gc'able)
+        return sorted(out, key=lambda e: e.last_used, reverse=True)
+
+    def gc(self, max_bytes: "int | None" = None) -> "list[StoreEntry]":
+        """Evict least-recently-used entries until the store fits the budget.
+
+        Entries whose shared read lock is held (mmap-attached in any
+        process) are skipped, as is the single most recently used entry —
+        a store under byte pressure still serves its hottest design.
+        Returns the evicted entries.
+        """
+        budget = self.max_bytes if max_bytes is None else int(max_bytes)
+        if budget is None:
+            return []
+        entries = self.ls()  # most recent first
+        total = sum(e.nbytes for e in entries)
+        evicted: "list[StoreEntry]" = []
+        # entries[0] (the MRU entry) is never a candidate — not even when
+        # every older entry is pinned by a reader lock: a store under byte
+        # pressure must still serve its hottest design.
+        for entry in reversed(entries[1:]):  # oldest first
+            if total <= budget:
+                break
+            if self._discard(entry.path):
+                total -= entry.nbytes
+                evicted.append(entry)
+        if evicted:
+            self._evictions += len(evicted)
+            self._bump(evictions=len(evicted))
+        return evicted
+
+    def clear(self) -> None:
+        """Drop every evictable entry (counters are kept)."""
+        for entry in self.ls():
+            if self._discard(entry.path):
+                self._evictions += 1
+                self._bump(evictions=1)
+
+    # -- telemetry --------------------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Total persisted bytes across complete entries."""
+        return sum(e.nbytes for e in self.ls())
+
+    def __len__(self) -> int:
+        return len(self.ls())
+
+    @property
+    def stats(self) -> StoreStats:
+        """This instance's counters plus the directory's current footprint."""
+        entries = self.ls()
+        return StoreStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            publishes=self._publishes,
+            entries=len(entries),
+            nbytes=sum(e.nbytes for e in entries),
+        )
+
+    def persistent_stats(self) -> "dict[str, int]":
+        """Cumulative counters across every process that used this root."""
+        try:
+            raw = json.loads((self.root / "stats.json").read_text())
+            return {k: int(raw.get(k, 0)) for k in ("hits", "misses", "evictions", "publishes")}
+        except (OSError, ValueError, TypeError):
+            return {"hits": 0, "misses": 0, "evictions": 0, "publishes": 0}
+
+    def _bump(self, **deltas: int) -> None:
+        """Fold counter deltas into the shared ``stats.json`` atomically.
+
+        Runs on every lookup, which is a deliberate tradeoff: a lookup is
+        once per (process, key) behind an L1 cache — and even cache-less,
+        the flock+rewrite (~tens of µs) is <1% of the mmap-attach+decode
+        it accompanies — in exchange for exact cross-process telemetry
+        (``design store stats``).  If a future workload makes this lock
+        contended, batch the hit/miss deltas per instance and flush them
+        on publish/evict.
+        """
+        stats_path = self.root / "stats.json"
+        with _flocked(self._locks / "stats.lock"):
+            counters = self.persistent_stats()
+            for name, delta in deltas.items():
+                counters[name] = counters.get(name, 0) + delta
+            tmp = stats_path.with_name(f".stats-{os.getpid()}-{uuid.uuid4().hex[:8]}.json")
+            tmp.write_text(json.dumps(counters, sort_keys=True))
+            os.replace(tmp, stats_path)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats
+        return (
+            f"DesignStore(root={str(self.root)!r}, entries={s.entries}, nbytes={s.nbytes}, "
+            f"hits={s.hits}, misses={s.misses}, publishes={s.publishes}, evictions={s.evictions})"
+        )
+
+
+def fetch_compiled(
+    key: DesignKey,
+    factory: Callable[[], CompiledDesign],
+    *,
+    cache: "DesignCache | None" = None,
+    store: "DesignStore | None" = None,
+) -> CompiledDesign:
+    """Layered compiled-design lookup: **L1 cache → L2 store → compile**.
+
+    A cache hit costs a dict lookup; a store hit costs an mmap attach (and
+    is admitted into the cache); a full miss compiles once — single-flight
+    within the process (cache) *and* across processes (store) — and
+    publishes to both layers.  With neither layer configured this is just
+    ``factory()``.
+    """
+    if cache is not None:
+        if store is not None:
+            return cache.get_or_compile(key, lambda: store.get_or_compile(key, factory))
+        return cache.get_or_compile(key, factory)
+    if store is not None:
+        return store.get_or_compile(key, factory)
+    return factory()
+
+
+_default_stores: "dict[tuple[str, int | None], DesignStore]" = {}
+
+
+def default_design_store(root: "str | Path", max_bytes: "int | None" = None) -> DesignStore:
+    """The process-wide store for ``root`` (one instance per configuration)."""
+    spec = (str(Path(root)), max_bytes)
+    store = _default_stores.get(spec)
+    if store is None:
+        store = _default_stores[spec] = DesignStore(root, max_bytes=max_bytes)
+    return store
+
+
+def resolve_design_store(store: "DesignStore | None" = None) -> "DesignStore | None":
+    """Resolve a ``store=`` argument against the ambient configuration.
+
+    An explicit store wins; otherwise ``REPRO_DESIGN_STORE`` (a directory
+    path) opts the process into a shared ambient store, optionally
+    budgeted by ``REPRO_DESIGN_STORE_BYTES``.  Unset means ``None`` — all
+    paths bit-identical to the store never existing.
+    """
+    if store is not None:
+        return store
+    root = os.environ.get(DESIGN_STORE_ENV, "").strip()
+    if not root:
+        return None
+    raw_bytes = os.environ.get(DESIGN_STORE_BYTES_ENV, "").strip()
+    max_bytes = int(raw_bytes) if raw_bytes else None
+    return default_design_store(root, max_bytes=max_bytes)
+
+
+def reset_default_design_store() -> None:
+    """Drop the memoised ambient stores (tests re-keying the environment)."""
+    _default_stores.clear()

@@ -100,6 +100,13 @@ class SerialBackend:
     The reference backend: no subprocesses, no shared memory, trivially
     debuggable.  ``map`` preserves the per-worker ``cache`` contract of
     :class:`~repro.parallel.pool.WorkerPool` with a single persistent dict.
+
+    Examples
+    --------
+    >>> from repro.engine.backend import SerialBackend
+    >>> with SerialBackend(blocks=4) as backend:
+    ...     (backend.workers, backend.blocks)
+    (1, 4)
     """
 
     def __init__(self, blocks: int = 1, batch_queries: int = DEFAULT_BATCH_QUERIES, kernel: "str | None" = None):

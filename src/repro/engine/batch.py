@@ -32,6 +32,7 @@ from repro.util.validation import check_positive_int, check_weight_vector
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.designs.cache import DesignCache
     from repro.designs.compiled import CompiledDesign
+    from repro.designs.store import DesignStore
     from repro.noise.models import NoiseModel
 
 __all__ = ["reconstruct_batch", "BatchReconstructionReport", "signals_oracle"]
@@ -125,6 +126,7 @@ def reconstruct_batch(
     repeats: int = 1,
     design: "CompiledDesign | PoolingDesign | None" = None,
     cache: "DesignCache | None" = None,
+    store: "DesignStore | None" = None,
 ) -> BatchReconstructionReport:
     """Recover ``B`` k-sparse binary signals through one shared design.
 
@@ -186,6 +188,10 @@ def reconstruct_batch(
         A :class:`~repro.designs.cache.DesignCache` for the compiled form
         of ``design`` (content-addressed), amortising compilation across
         calls.
+    store:
+        A :class:`~repro.designs.store.DesignStore` — the cross-process
+        L2 under the cache, amortising compilation of the deployed
+        design across processes and CLI invocations.
 
     Raises
     ------
@@ -201,7 +207,7 @@ def reconstruct_batch(
 
     from repro.core.reconstruction import _resolve_reconstruct_design
 
-    compiled = _resolve_reconstruct_design(design, cache, n, m)
+    compiled = _resolve_reconstruct_design(design, cache, n, m, store=store)
     design = compiled.design if compiled is not None else PoolingDesign.sample(n, m, rng, gamma=gamma)
     pools = [design.pool(j) for j in range(design.m)]
     calibrated = k is None

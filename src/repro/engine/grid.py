@@ -38,6 +38,7 @@ from repro.util.validation import check_nonneg_int, check_positive_int
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.designs.cache import DesignCache
+    from repro.designs.store import DesignStore
     from repro.noise.models import NoiseModel
 
 __all__ = ["run_batched_point", "run_batched_point_sweep", "run_trial_grid", "BatchedPointResult"]
@@ -77,6 +78,7 @@ def run_batched_point(
     repeats: int = 1,
     kernel: "str | None" = None,
     cache: "DesignCache | None" = None,
+    store: "DesignStore | None" = None,
 ) -> BatchedPointResult:
     """Run one grid point: ``trials`` signals decoded against one design.
 
@@ -96,7 +98,7 @@ def run_batched_point(
     reproduces the noiseless point bit for bit.
     """
     repeats = check_positive_int(repeats, "repeats")
-    design, compiled, sigmas, k = _point_first_stage(n, m, theta, k, trials, root_seed, point_id, gamma, cache)
+    design, compiled, sigmas, k = _point_first_stage(n, m, theta, k, trials, root_seed, point_id, gamma, cache, store)
     y_clean = design.query_results(sigmas, kernel=kernel)
     return _decode_noisy_point(design, sigmas, y_clean, k, root_seed, point_id, blocks, noise, repeats, kernel=kernel, compiled=compiled)
 
@@ -111,6 +113,7 @@ def _point_first_stage(
     point_id: int,
     gamma: Optional[int],
     cache: "DesignCache | None" = None,
+    store: "DesignStore | None" = None,
 ) -> "tuple[PoolingDesign, object, np.ndarray, int]":
     """Validate a grid point and draw its signal-independent first stage.
 
@@ -119,6 +122,7 @@ def _point_first_stage(
     — everything downstream of this is per-channel.
     """
     from repro.designs.cache import resolve_design_cache
+    from repro.designs.store import resolve_design_store
 
     n = check_positive_int(n, "n")
     m = check_positive_int(m, "m")
@@ -132,11 +136,14 @@ def _point_first_stage(
 
     compiled = None
     cache_obj = resolve_design_cache(cache)
-    if cache_obj is not None:
+    store_obj = resolve_design_store(store)
+    if cache_obj is not None or store_obj is not None:
         from repro.designs.compiled import DesignKey, compile_from_key
 
         key = DesignKey.for_sampled(n, m, root_seed=root_seed, tag=_DESIGN_TAG, index=point_id, gamma=gamma)
-        compiled = compile_from_key(key, cache=cache_obj)
+        # L1 cache -> L2 store -> sample+compile: on warm keys a forked
+        # worker (or a repeated CLI sweep) attaches, never compiles.
+        compiled = compile_from_key(key, cache=cache_obj, store=store_obj)
         design = compiled.design
     else:
         design = PoolingDesign.sample(n, m, batch_generator(root_seed, _DESIGN_TAG, point_id), gamma=gamma)
@@ -220,6 +227,7 @@ def run_batched_point_sweep(
     repeats: int = 1,
     kernel: "str | None" = None,
     cache: "DesignCache | None" = None,
+    store: "DesignStore | None" = None,
 ) -> "list[BatchedPointResult]":
     """One grid point swept over several noise channels, first stage shared.
 
@@ -232,7 +240,7 @@ def run_batched_point_sweep(
     comparison.
     """
     repeats = check_positive_int(repeats, "repeats")
-    design, compiled, sigmas, k = _point_first_stage(n, m, theta, k, trials, root_seed, point_id, gamma, cache)
+    design, compiled, sigmas, k = _point_first_stage(n, m, theta, k, trials, root_seed, point_id, gamma, cache, store)
     y_clean = design.query_results(sigmas, kernel=kernel)
     return [
         _decode_noisy_point(design, sigmas, y_clean, k, root_seed, point_id, blocks, model, repeats, kernel=kernel, compiled=compiled)
@@ -246,16 +254,25 @@ def run_batched_point_sweep(
 #: sweeps just the same).
 _WORKER_CACHE_SLOT = "grid-design-cache"
 
+#: Worker-cache slot holding each worker's :class:`DesignStore` handle.
+#: Unlike the cache, the store *is* shared across the process boundary —
+#: every worker opens the same directory, so on warm keys workers attach
+#: (mmap) instead of compiling, and a cold key is compiled by exactly one
+#: worker machine-wide (the store's advisory compile lock).
+_WORKER_STORE_SLOT = "grid-design-store"
+
 
 def _grid_point_task(payload, cache) -> BatchedPointResult:
     """Module-level worker task (picklable) running one batched grid point.
 
-    ``cache_bytes`` (the payload's last field) is the caller's cache budget:
-    ``None`` disables design caching; otherwise the worker's private
-    :class:`DesignCache` is created at that budget on first use.  The serial
-    path pre-seeds the slot with the caller's cache object directly.
+    ``cache_bytes`` is the caller's cache budget: ``None`` disables design
+    caching; otherwise the worker's private :class:`DesignCache` is created
+    at that budget on first use.  ``store_spec`` is the caller's store as a
+    picklable ``(root, max_bytes)`` pair — the worker (re)opens the same
+    directory, so all workers share one on-disk compilation.  The serial
+    path pre-seeds both slots with the caller's objects directly.
     """
-    n, m, theta, k, trials, root_seed, point_id, gamma, blocks, noise, repeats, kernel, cache_bytes = payload
+    n, m, theta, k, trials, root_seed, point_id, gamma, blocks, noise, repeats, kernel, cache_bytes, store_spec = payload
     if cache_bytes is None:
         # Caching explicitly off for this grid: also release any cache a
         # previous grid left behind in this worker (the opt-in contract
@@ -268,6 +285,15 @@ def _grid_point_task(payload, cache) -> BatchedPointResult:
             from repro.designs.cache import DesignCache
 
             design_cache = cache[_WORKER_CACHE_SLOT] = DesignCache(cache_bytes)
+    if store_spec is None:
+        cache.pop(_WORKER_STORE_SLOT, None)
+        design_store = None
+    else:
+        design_store = cache.get(_WORKER_STORE_SLOT)
+        if design_store is None or (str(design_store.root), design_store.max_bytes, design_store.keep_blocks) != store_spec:
+            from repro.designs.store import DesignStore
+
+            design_store = cache[_WORKER_STORE_SLOT] = DesignStore(store_spec[0], max_bytes=store_spec[1], keep_blocks=store_spec[2])
     return run_batched_point(
         n,
         m,
@@ -282,6 +308,7 @@ def _grid_point_task(payload, cache) -> BatchedPointResult:
         repeats=repeats,
         kernel=kernel,
         cache=design_cache,
+        store=design_store,
     )
 
 
@@ -300,6 +327,7 @@ def run_trial_grid(
     noise: "NoiseModel | None" = None,
     repeats: int = 1,
     cache: "DesignCache | None" = None,
+    store: "DesignStore | None" = None,
 ) -> "list[BatchedPointResult]":
     """Sweep ``m`` over a grid with batched per-point execution.
 
@@ -317,8 +345,16 @@ def run_trial_grid(
     keeps a private cache at the caller's byte budget in its persistent
     task cache — results are identical either way (cache hits never
     change output).
+
+    ``store=`` (or the ambient ``REPRO_DESIGN_STORE``) additionally opens
+    the file-backed :class:`~repro.designs.store.DesignStore` in every
+    worker: the store *does* cross the process boundary (it is a shared
+    directory), so on a warm grid forked workers attach each point's
+    compiled design zero-copy and never compile, and a cold point is
+    compiled exactly once machine-wide.
     """
     from repro.designs.cache import resolve_design_cache
+    from repro.designs.store import resolve_design_store
 
     with resolved_backend(backend, pool=pool, workers=workers) as exec_backend:
         # Resolve to a concrete kernel name in the parent so workers never
@@ -326,14 +362,20 @@ def run_trial_grid(
         kernel = resolve_kernel(getattr(exec_backend, "kernel", None))
         cache_obj = resolve_design_cache(cache)
         cache_bytes = cache_obj.max_bytes if cache_obj is not None else None
+        store_obj = resolve_design_store(store)
+        store_spec = (str(store_obj.root), store_obj.max_bytes, store_obj.keep_blocks) if store_obj is not None else None
         payloads = [
-            (n, int(m), theta, k, trials, root_seed, idx, gamma, exec_backend.blocks, noise, repeats, kernel, cache_bytes)
+            (n, int(m), theta, k, trials, root_seed, idx, gamma, exec_backend.blocks, noise, repeats, kernel, cache_bytes, store_spec)
             for idx, m in enumerate(ms)
         ]
         if exec_backend.workers == 1:
             # Inline execution shares one persistent task cache pre-seeded
-            # with the caller's cache object, so the parent cache is used
+            # with the caller's cache and store objects, so both are used
             # directly (same code path as the workers otherwise).
-            task_cache = {_WORKER_CACHE_SLOT: cache_obj} if cache_obj is not None else {}
+            task_cache: dict = {}
+            if cache_obj is not None:
+                task_cache[_WORKER_CACHE_SLOT] = cache_obj
+            if store_obj is not None:
+                task_cache[_WORKER_STORE_SLOT] = store_obj
             return [_grid_point_task(p, task_cache) for p in payloads]
         return exec_backend.map(_grid_point_task, payloads)

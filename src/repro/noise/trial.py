@@ -32,6 +32,7 @@ from repro.util.validation import check_positive_int
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.designs.cache import DesignCache
     from repro.designs.compiled import CompiledDesign
+    from repro.designs.store import DesignStore
 
 __all__ = ["run_noisy_mn_trial", "NOISY_TRIAL_SPAWN_TAG"]
 
@@ -71,6 +72,7 @@ def run_noisy_mn_trial(
     repeats: int = 1,
     design: "CompiledDesign | None" = None,
     cache: "DesignCache | None" = None,
+    store: "DesignStore | None" = None,
 ) -> MNTrialResult:
     """One trial through a noisy additive channel.
 
@@ -102,6 +104,11 @@ def run_noisy_mn_trial(
         design is compiled under a trial-tagged key and reused across
         repeated level sweeps — hits are bit-identical to re-sampling
         because the key regenerates the same draw.
+    store:
+        A :class:`~repro.designs.store.DesignStore` layered beneath the
+        cache: the trial-tagged artifact persists on disk, so repeated
+        sweep *processes* share one compilation (mmap-attached, still
+        bit-identical).
     """
     n = check_positive_int(n, "n")
     check_positive_int(m, "m")
@@ -117,6 +124,7 @@ def run_noisy_mn_trial(
     sigma = random_signal(n, k, sig_rng)
 
     from repro.designs.cache import resolve_design_cache
+    from repro.designs.store import resolve_design_store
 
     compiled = design
     if compiled is not None:
@@ -124,9 +132,11 @@ def run_noisy_mn_trial(
             raise ValueError(f"design= has (n={compiled.n}, m={compiled.m}); this trial asked for (n={n}, m={m})")
     else:
         cache_obj = resolve_design_cache(cache)
-        if cache_obj is not None:
+        store_obj = resolve_design_store(store)
+        if cache_obj is not None or store_obj is not None:
             from repro.core.design import default_gamma
             from repro.designs.compiled import CompiledDesign, DesignKey
+            from repro.designs.store import fetch_compiled
 
             key = DesignKey(
                 n=n,
@@ -136,7 +146,12 @@ def run_noisy_mn_trial(
                 trial_key=("noisy", NOISY_TRIAL_SPAWN_TAG, trial),
                 batch_queries=0,
             )
-            compiled = cache_obj.get_or_compile(key, lambda: CompiledDesign(PoolingDesign.sample(n, m, design_rng), key=key))
+            compiled = fetch_compiled(
+                key,
+                lambda: CompiledDesign(PoolingDesign.sample(n, m, design_rng), key=key),
+                cache=cache_obj,
+                store=store_obj,
+            )
     design_obj = compiled.design if compiled is not None else PoolingDesign.sample(n, m, design_rng)
     y_clean = design_obj.query_results(sigma)
     replicas = np.stack([noise.corrupt(y_clean, noise_rng) for _ in range(repeats)])

@@ -129,3 +129,64 @@ class TestDesignCommands:
         capsys.readouterr()
         assert main(["design", "decode", str(out) + ".npz", "--k", "2"]) == 2
         assert "--y-file" in capsys.readouterr().err
+
+
+class TestDesignStoreCLI:
+    @pytest.fixture
+    def ambient_store(self, tmp_path, monkeypatch):
+        from repro.designs import reset_default_design_store
+
+        root = tmp_path / "store"
+        monkeypatch.setenv("REPRO_DESIGN_STORE", str(root))
+        reset_default_design_store()
+        yield root
+        reset_default_design_store()
+
+    def _build(self, tmp_path, seed=0):
+        assert main(["design", "build", "--n", "200", "--m", "24", "--seed", str(seed), "--out", str(tmp_path / f"d{seed}")]) == 0
+
+    def test_store_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["design", "store"])
+
+    def test_ls_and_stats_after_ambient_build(self, tmp_path, ambient_store, capsys):
+        self._build(tmp_path)
+        capsys.readouterr()
+        assert main(["design", "store", "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "1 entries" in out and "stream" in out
+        assert main(["design", "store", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "publishes (all processes)" in out
+        # A second build of the same key attaches instead of re-publishing.
+        self._build(tmp_path)
+        assert main(["design", "store", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert any("hits (all processes)" in line and line.rstrip().endswith("1") for line in out.splitlines())
+
+    def test_gc_frees_down_to_budget(self, tmp_path, ambient_store, capsys):
+        self._build(tmp_path, seed=0)
+        self._build(tmp_path, seed=1)
+        capsys.readouterr()
+        assert main(["design", "store", "gc", "--max-bytes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted" in out and "freed" in out
+        assert main(["design", "store", "ls"]) == 0
+        assert "1 entries" in capsys.readouterr().out  # most recent survives
+
+    def test_explicit_store_flag_wins_over_env(self, tmp_path, capsys):
+        other = tmp_path / "elsewhere"
+        assert main(["design", "store", "ls", "--store", str(other)]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_missing_store_errors_cleanly(self, monkeypatch, capsys):
+        from repro.designs import reset_default_design_store
+
+        monkeypatch.delenv("REPRO_DESIGN_STORE", raising=False)
+        reset_default_design_store()
+        assert main(["design", "store", "ls"]) == 2
+        assert "REPRO_DESIGN_STORE" in capsys.readouterr().err
+
+    def test_gc_without_budget_errors_cleanly(self, tmp_path, ambient_store, capsys):
+        assert main(["design", "store", "gc"]) == 2
+        assert "max-bytes" in capsys.readouterr().err

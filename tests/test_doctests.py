@@ -11,6 +11,11 @@ import pytest
 
 MODULES_WITH_DOCTESTS = [
     "repro",
+    "repro.core.mn",
+    "repro.designs.cache",
+    "repro.designs.compiled",
+    "repro.designs.store",
+    "repro.engine.backend",
     "repro.noise.models",
     "repro.rng.mt19937",
     "repro.parallel.partition",

@@ -250,3 +250,33 @@ class TestValidation:
         )
         with pytest.raises(ValueError):
             load_design(path)
+
+
+class TestTruncatedFiles:
+    """A concurrent partial write must raise a clean ValueError, never a
+    numpy/zipfile traceback (the store-era failure mode: a reader racing a
+    copy or an interrupted download)."""
+
+    def test_truncated_compiled_file_raises_clean_valueerror(self, tmp_path):
+        compiled = compile_from_key(DesignKey.for_stream(120, 16, root_seed=8))
+        path = save_design(tmp_path / "full", compiled)
+        blob = path.read_bytes()
+        # Cut at several depths: inside the zip header, mid-archive, and
+        # just shy of the central directory.
+        for cut in (10, len(blob) // 3, len(blob) // 2, len(blob) - 8):
+            trunc = tmp_path / f"trunc{cut}.npz"
+            trunc.write_bytes(blob[:cut])
+            with pytest.raises(ValueError, match="truncated or corrupted|not a pooled-repro"):
+                load_compiled_design(trunc)
+            with pytest.raises(ValueError, match="truncated or corrupted|not a pooled-repro"):
+                load_design(trunc)
+
+    def test_empty_file_raises_clean_valueerror(self, tmp_path):
+        path = tmp_path / "empty.npz"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError, match="truncated or corrupted"):
+            load_compiled_design(path)
+
+    def test_missing_file_still_raises_filenotfound(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_compiled_design(tmp_path / "nowhere.npz")
