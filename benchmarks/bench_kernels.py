@@ -6,7 +6,10 @@ dense-vs-legacy kernel pairs (``TestDenseVsLegacy``), whose
 ``speedup_x`` extra records track the dense incidence-block layer's win
 over the sort-based reference at several problem sizes, plus one
 end-to-end ``reconstruct_batch`` pair showing the compounding effect on
-the batched engine.
+the batched engine — and the generation-2 float32 tier
+(``TestKernelGen2``), whose ``gen2_speedup_x`` records track dense32
+against dense on the same hot kernels alongside the shared-memory
+BLAS-cap throughput probe.
 """
 
 import time
@@ -17,7 +20,7 @@ import scipy.sparse as sp
 
 from repro.core.design import PoolingDesign, stream_design_stats
 from repro.core.signal import random_signal
-from repro.engine.backend import SerialBackend
+from repro.engine.backend import SerialBackend, SharedMemBackend
 from repro.engine.batch import reconstruct_batch, signals_oracle
 from repro.parallel.matvec import CSRMatrix
 from repro.parallel.sort import parallel_sample_sort, parallel_top_k
@@ -158,6 +161,93 @@ class TestDenseVsLegacy:
         benchmark.extra_info.update(n=n, m=m, B=B, k=k, kernel="dense")
         benchmark.extra_info["legacy_s"] = round(legacy_s, 6)
         benchmark.extra_info["speedup_x"] = round(legacy_s / dense_s, 2)
+
+
+class TestKernelGen2:
+    """Generation 2: float32-tier kernels vs the float64 dense generation.
+
+    ``gen2_speedup_x`` records dense/dense32 time per hot kernel at
+    n=10⁴ — the acceptance gate asks for ≥ 1.3× on at least one (the
+    GEMM-bound Ψ pass is the expected winner: half the memory traffic,
+    twice the SIMD lanes).  Parity is asserted once per pairing; the full
+    boundary matrix lives in tests/test_kernels.py.
+    """
+
+    N, M, B = 10_000, 400, 64
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        rng = np.random.default_rng(1)
+        design = PoolingDesign.sample(self.N, self.M, rng)
+        sigmas = np.stack([random_signal(self.N, 16, np.random.default_rng(i)) for i in range(self.B)])
+        y = design.query_results(sigmas, kernel="dense")
+        return design, sigmas, y
+
+    def _record(self, benchmark, run, out_check):
+        assert np.array_equal(run("dense"), run("dense32"))
+        dense_s = _best_of(lambda: run("dense"), repeats=3)
+        gen2_s = _best_of(lambda: run("dense32"), repeats=3)
+        out = benchmark.pedantic(lambda: run("dense32"), rounds=3, iterations=1)
+        out_check(out)
+        benchmark.extra_info.update(n=self.N, m=self.M, B=self.B, kernel="dense32")
+        benchmark.extra_info["dense_s"] = round(dense_s, 6)
+        benchmark.extra_info["gen2_speedup_x"] = round(dense_s / gen2_s, 2)
+
+    def test_stream_stats_dense32_vs_dense(self, benchmark):
+        sigma = random_signal(self.N, 16, np.random.default_rng(0))
+
+        def run(kernel):
+            return stream_design_stats(sigma, 200, root_seed=1, kernel=kernel).psi
+
+        self._record(benchmark, run, lambda psi: psi.shape == (self.N,))
+
+    def test_materialised_psi_dense32_vs_dense(self, benchmark, workload):
+        design, _, y = workload
+
+        def run(kernel):
+            fresh = PoolingDesign(design.n, design.entries, design.indptr)  # cold caches
+            return fresh.psi(y, kernel=kernel)
+
+        self._record(benchmark, run, lambda out: out.shape == (self.B, self.N))
+        # The GEMM-bound pass is where the float32 tier must pay off.
+        assert benchmark.extra_info["gen2_speedup_x"] > 1.0
+
+    def test_query_results_dense32_vs_dense(self, benchmark, workload):
+        design, sigmas, _ = workload
+
+        def run(kernel):
+            return design.query_results(sigmas, kernel=kernel)
+
+        self._record(benchmark, run, lambda out: out.shape == (self.B, self.M))
+
+    def test_sharedmem_blas_cap_throughput(self, benchmark):
+        """The W-worker BLAS cap must not regress multi-worker throughput.
+
+        Runs the streaming sweep end to end through a 2-worker pool with
+        the oversubscription cap (the SharedMemBackend default) and with
+        the cap explicitly widened to the full machine, recording the
+        ratio — on any machine the capped run should be at least
+        comparable (≤ ~1 is a win; > 1.15 would mean the governor hurts).
+        """
+        sigma = random_signal(self.N, 16, np.random.default_rng(3))
+
+        def run(blas_threads):
+            with SharedMemBackend(2, kernel="dense32", blas_threads=blas_threads) as backend:
+                return stream_design_stats(sigma, 200, root_seed=1, backend=backend)
+
+        from repro.kernels.threads import cpu_count, worker_thread_budget
+
+        capped = _best_of(lambda: run(None), repeats=3)  # default: cores // 2 cap
+        uncapped = _best_of(lambda: run(cpu_count()), repeats=3)
+        stats = benchmark.pedantic(lambda: run(None), rounds=2, iterations=1)
+        assert stats.m == 200
+        benchmark.extra_info.update(n=self.N, m=200, workers=2, kernel="dense32")
+        # On a 1-core runner both configurations resolve to 1 thread and the
+        # ratio is pure fork jitter; the recorded thread counts disambiguate.
+        benchmark.extra_info["capped_threads"] = worker_thread_budget(2)
+        benchmark.extra_info["uncapped_threads"] = cpu_count()
+        benchmark.extra_info["uncapped_s"] = round(uncapped, 6)
+        benchmark.extra_info["capped_over_uncapped"] = round(capped / uncapped, 3)
 
 
 class TestLinalgKernels:

@@ -115,10 +115,16 @@ def pytest_sessionfinish(session, exitstatus):
     if not by_module:
         return
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    from repro.kernels.threads import machine_provenance
+
+    # Machine provenance (core count, BLAS vendor + configured threads)
+    # travels with every record: a speedup measured on a 1-core openblas
+    # runner is not comparable to one from a 32-core MKL box.
     context = {
         "python": platform.python_version(),
         "workers_available": _worker_count(),
         "seed": int(os.environ.get("POOLED_REPRO_SEED", "2022")),
+        **machine_provenance(),
     }
     for module, results in by_module.items():
         # A complete, clean run of the module is authoritative: replace the

@@ -354,6 +354,10 @@ class DesignStore:
                 "m": compiled.m,
                 "nbytes": nbytes,
                 "block": with_block,
+                # Provenance: the persisted Ψ block's precision (float32 for
+                # budget-eligible designs — see CompiledDesign.block_dtype).
+                # Attachers adopt whatever dtype block.npy actually holds.
+                "block_dtype": str(compiled.block_dtype) if with_block else None,
             }
             (tmp / _META_NAME).write_text(json.dumps(meta, sort_keys=True))
             try:

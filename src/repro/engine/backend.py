@@ -35,6 +35,13 @@ from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Optional, Protocol, Sequence, runtime_checkable
 
 from repro.kernels import check_kernel
+from repro.kernels.threads import (
+    blas_thread_limit,
+    pin_workers_default,
+    resolve_blas_threads,
+    worker_core_slices,
+    worker_thread_budget,
+)
 from repro.parallel.pool import WorkerPool, resolve_workers
 from repro.util.validation import check_positive_int
 
@@ -101,6 +108,11 @@ class SerialBackend:
     debuggable.  ``map`` preserves the per-worker ``cache`` contract of
     :class:`~repro.parallel.pool.WorkerPool` with a single persistent dict.
 
+    ``blas_threads`` caps the BLAS threadpool for the duration of each
+    :meth:`map` call (scoped — the process-wide setting is restored on
+    exit); ``None`` defers to ``REPRO_BLAS_THREADS`` and, absent that,
+    leaves the BLAS library's own default untouched.
+
     Examples
     --------
     >>> from repro.engine.backend import SerialBackend
@@ -109,10 +121,17 @@ class SerialBackend:
     (1, 4)
     """
 
-    def __init__(self, blocks: int = 1, batch_queries: int = DEFAULT_BATCH_QUERIES, kernel: "str | None" = None):
+    def __init__(
+        self,
+        blocks: int = 1,
+        batch_queries: int = DEFAULT_BATCH_QUERIES,
+        kernel: "str | None" = None,
+        blas_threads: "int | None" = None,
+    ):
         self._blocks = check_positive_int(blocks, "blocks")
         self._batch_queries = check_positive_int(batch_queries, "batch_queries")
         self._kernel = check_kernel(kernel)
+        self._blas_threads = resolve_blas_threads(blas_threads)
         self._cache: dict = {}
         self._closed = False
 
@@ -132,10 +151,15 @@ class SerialBackend:
     def kernel(self) -> "str | None":
         return self._kernel
 
+    @property
+    def blas_threads(self) -> "int | None":
+        return self._blas_threads
+
     def map(self, fn: Callable[[Any, dict], Any], payloads: Sequence[Any]) -> "list[Any]":
         if self._closed:
             raise RuntimeError("backend already shut down")
-        return [fn(p, self._cache) for p in payloads]
+        with blas_thread_limit(self._blas_threads):
+            return [fn(p, self._cache) for p in payloads]
 
     def shutdown(self) -> None:
         self._closed = True
@@ -148,7 +172,10 @@ class SerialBackend:
         self.shutdown()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"SerialBackend(blocks={self._blocks}, batch_queries={self._batch_queries}, kernel={self._kernel!r})"
+        return (
+            f"SerialBackend(blocks={self._blocks}, batch_queries={self._batch_queries}, "
+            f"kernel={self._kernel!r}, blas_threads={self._blas_threads})"
+        )
 
 
 class SharedMemBackend:
@@ -165,7 +192,20 @@ class SharedMemBackend:
         Streaming batch size (default :data:`DEFAULT_BATCH_QUERIES`).
     pool:
         Borrow an externally managed pool instead of owning one.  Borrowed
-        pools are never shut down by the backend.
+        pools are never shut down by the backend — and they keep their own
+        thread policy (``blas_threads``/``pin_workers`` here only shape the
+        pool this backend creates itself).
+    blas_threads:
+        Per-worker BLAS threadpool cap.  ``None`` defers to
+        ``REPRO_BLAS_THREADS`` and, absent that, to the oversubscription
+        guard :func:`~repro.kernels.threads.worker_thread_budget` —
+        ``max(1, cores // workers)`` — whenever more than one worker runs.
+        Without the cap, ``W`` workers each spin up a ``cores``-wide BLAS
+        pool and the dense GEMM kernels fight themselves for the machine.
+    pin_workers:
+        Pin worker ``i`` to a contiguous core slice
+        (:func:`~repro.kernels.threads.worker_core_slices`).  ``None``
+        defers to the ``REPRO_PIN_WORKERS`` env switch (default off).
 
     The owned pool is created lazily on first :meth:`map`, so constructing
     a backend is free and a backend that only ever configures ``blocks``
@@ -180,6 +220,8 @@ class SharedMemBackend:
         batch_queries: int = DEFAULT_BATCH_QUERIES,
         pool: "WorkerPool | None" = None,
         kernel: "str | None" = None,
+        blas_threads: "int | None" = None,
+        pin_workers: "bool | None" = None,
     ):
         if pool is not None:
             self._workers = pool.workers
@@ -190,6 +232,11 @@ class SharedMemBackend:
         self._blocks = check_positive_int(blocks, "blocks") if blocks is not None else max(1, self._workers)
         self._batch_queries = check_positive_int(batch_queries, "batch_queries")
         self._kernel = check_kernel(kernel)
+        explicit = resolve_blas_threads(blas_threads)
+        if explicit is None and self._workers > 1:
+            explicit = worker_thread_budget(self._workers)
+        self._blas_threads = explicit
+        self._pin_workers = pin_workers_default() if pin_workers is None else bool(pin_workers)
         self._closed = False
 
     @property
@@ -209,12 +256,22 @@ class SharedMemBackend:
         return self._kernel
 
     @property
+    def blas_threads(self) -> "int | None":
+        """Effective per-worker BLAS cap this backend applies to owned pools."""
+        return self._blas_threads
+
+    @property
+    def pin_workers(self) -> bool:
+        return self._pin_workers
+
+    @property
     def pool(self) -> WorkerPool:
         """The underlying pool, created on first use when owned."""
         if self._pool is None:
             if self._closed:
                 raise RuntimeError("backend already shut down")
-            self._pool = WorkerPool(self._workers)
+            pin_cores = worker_core_slices(self._workers) if self._pin_workers else None
+            self._pool = WorkerPool(self._workers, blas_threads=self._blas_threads, pin_cores=pin_cores)
         return self._pool
 
     def map(self, fn: Callable[[Any, dict], Any], payloads: Sequence[Any]) -> "list[Any]":
@@ -239,7 +296,8 @@ class SharedMemBackend:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"SharedMemBackend(workers={self._workers}, blocks={self._blocks}, "
-            f"batch_queries={self._batch_queries}, kernel={self._kernel!r}, owns_pool={self._owns_pool})"
+            f"batch_queries={self._batch_queries}, kernel={self._kernel!r}, "
+            f"blas_threads={self._blas_threads}, owns_pool={self._owns_pool})"
         )
 
 
@@ -304,12 +362,22 @@ def resolved_backend(
     The single shape every wrapped entry point uses: yields the resolved
     backend and shuts it down on exit only when this call owns it (an
     explicit ``backend=`` is left untouched for the caller to reuse).
+
+    For inline (``workers == 1``) backends the backend's ``blas_threads``
+    cap is held for the whole ``with`` body, not just inside ``map`` —
+    entry points run most of their GEMM work directly in the caller, so a
+    map-scoped cap alone would miss it.  Multi-worker backends apply the
+    cap inside each worker instead.
     """
     exec_backend, owned = resolve_backend(
         backend, pool=pool, workers=workers, blocks=blocks, batch_queries=batch_queries, kernel=kernel
     )
+    # getattr, not attribute access: Backend is a runtime_checkable Protocol
+    # and third-party backends predating the thread governor remain valid.
+    scoped_cap = getattr(exec_backend, "blas_threads", None) if exec_backend.workers == 1 else None
     try:
-        yield exec_backend
+        with blas_thread_limit(scoped_cap):
+            yield exec_backend
     finally:
         if owned:
             exec_backend.shutdown()

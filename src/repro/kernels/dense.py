@@ -17,11 +17,13 @@ the incidence structure is dense, not sparse.  These kernels exploit that:
   indices (multiplicities preserved) and evaluates all ``B`` signals as
   ``σ @ countsᵀ``, replacing the per-signal gather loop.
 
-Blocks are stored as float64 so the products run through BLAS, and chunked
-over queries so peak scratch stays cache-sized: streaming blocks target
-:data:`STREAM_BLOCK_BYTES` (the scatter is the bottleneck there and wants
-L2-resident blocks), materialised ones :data:`BLOCK_BYTES` (larger, to
-amortise the per-chunk ``(B, n)`` accumulate).
+Blocks are stored in a floating dtype so the products run through BLAS,
+and chunked over queries so peak scratch stays cache-sized: streaming
+blocks target :data:`STREAM_BLOCK_BYTES` (the scatter is the bottleneck
+there and wants L2-resident blocks), materialised ones :data:`BLOCK_BYTES`
+(larger, to amortise the per-chunk ``(B, n)`` accumulate).  Chunk row and
+count indices are kept int32 where the linearised index space provably
+fits, halving the index traffic of the scatter/bincount.
 
 Exactness: every output is integer-valued, and float64 accumulation of
 integers is exact while all running sums stay below 2⁵³ — guarded per
@@ -31,6 +33,13 @@ therefore bit-identical on identical sampled edges *always*, not just
 typically.  Scratch blocks are reset by re-zeroing only the touched rows
 and reused across batches via :class:`DenseStreamWorkspace`, so the
 steady-state streaming loop performs no ``O(b·n)`` allocations.
+
+This module also hosts the shared machinery of the second kernel
+generation: the workspace, :func:`stream_y`, :func:`fold_stream`,
+:func:`psi_pass` and :func:`query_pass` are all parametrised by the GEMM
+dtype so :mod:`repro.kernels.dense32` is the same code run in float32
+under a tighter (2²³) budget — which is what makes the two generations
+bit-identical by construction.
 """
 
 from __future__ import annotations
@@ -45,9 +54,8 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 
 NAME = "dense"
 
-#: Cap on one materialised dense block, in bytes (float64 cells).  Large
-#: enough to amortise per-chunk GEMM and accumulate overhead for big
-#: signal batches.
+#: Cap on one materialised dense block, in bytes.  Large enough to
+#: amortise per-chunk GEMM and accumulate overhead for big signal batches.
 BLOCK_BYTES = 8 * 1024 * 1024
 
 #: Cap on one streaming block.  The streaming kernel's cost is dominated
@@ -61,9 +69,14 @@ STREAM_BLOCK_BYTES = 1024 * 1024
 _EXACT_LIMIT = float(2**52)
 
 
-def _rows_per_block(n: int, block_bytes: int = BLOCK_BYTES) -> int:
-    """Query rows fitting one float64 block of width ``n``."""
-    return max(1, block_bytes // (8 * max(1, n)))
+def _rows_per_block(n: int, block_bytes: int = BLOCK_BYTES, itemsize: int = 8) -> int:
+    """Query rows fitting one ``itemsize``-byte-cell block of width ``n``."""
+    return max(1, block_bytes // (itemsize * max(1, n)))
+
+
+def _index_dtype(cells: int) -> np.dtype:
+    """Narrowest index dtype covering ``cells`` linearised block cells."""
+    return np.dtype(np.int32) if cells < 2**31 else np.dtype(np.int64)
 
 
 class DenseStreamWorkspace:
@@ -74,9 +87,14 @@ class DenseStreamWorkspace:
     steady-state loop allocates none of the ``O(b·n)`` / ``O(b·Γ)``
     intermediates.  The incidence block is kept all-zero between calls
     (re-zeroed after every chunk), which is what makes reuse sound.
+
+    ``dtype`` selects the GEMM precision of every float buffer (block,
+    coefficients, accumulators) — float64 here, float32 for the
+    :mod:`~repro.kernels.dense32` generation.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, dtype: "np.dtype | type" = np.float64) -> None:
+        self.dtype = np.dtype(dtype)
         self._block: "np.ndarray | None" = None
         self._hits: "np.ndarray | None" = None
         self._coef: "np.ndarray | None" = None
@@ -85,9 +103,9 @@ class DenseStreamWorkspace:
         self._rows: "np.ndarray | None" = None
 
     def block(self, rows: int, n: int) -> np.ndarray:
-        """An all-zero ``(rows, n)`` float64 block (callers must re-zero it)."""
+        """An all-zero ``(rows, n)`` block (callers must re-zero it)."""
         if self._block is None or self._block.shape[1] != n or self._block.shape[0] < rows:
-            self._block = np.zeros((rows, n), dtype=np.float64)
+            self._block = np.zeros((rows, n), dtype=self.dtype)
         return self._block[:rows]
 
     def hits(self, shape: "tuple[int, int]", dtype: np.dtype) -> np.ndarray:
@@ -99,31 +117,106 @@ class DenseStreamWorkspace:
     def coef(self, rows: int) -> np.ndarray:
         """``(2, rows)`` GEMM coefficients: all-ones row (Δ*) over ``y`` row (Ψ)."""
         if self._coef is None or self._coef.shape[1] < rows:
-            self._coef = np.empty((2, rows), dtype=np.float64)
+            self._coef = np.empty((2, rows), dtype=self.dtype)
         return self._coef[:, :rows]
 
     def acc(self, n: int) -> np.ndarray:
-        """``(2, n)`` float64 accumulator for the (Δ*, Ψ) GEMM rows."""
+        """``(2, n)`` accumulator for the (Δ*, Ψ) GEMM rows."""
         if self._acc is None or self._acc.shape[1] != n:
-            self._acc = np.empty((2, n), dtype=np.float64)
+            self._acc = np.empty((2, n), dtype=self.dtype)
         return self._acc
 
     def tmp(self, n: int) -> np.ndarray:
-        """``(2, n)`` float64 GEMM output buffer for non-first chunks."""
+        """``(2, n)`` GEMM output buffer for non-first chunks."""
         if self._tmp is None or self._tmp.shape[1] != n:
-            self._tmp = np.empty((2, n), dtype=np.float64)
+            self._tmp = np.empty((2, n), dtype=self.dtype)
         return self._tmp
 
     def row_index(self, rows: int) -> np.ndarray:
         """``(rows, 1)`` broadcastable row indices for the block scatter."""
         if self._rows is None or self._rows.shape[0] < rows:
-            self._rows = np.arange(rows, dtype=np.int64)[:, None]
+            self._rows = np.arange(rows, dtype=np.int32)[:, None]
         return self._rows[:rows]
 
 
 def make_stream_workspace() -> DenseStreamWorkspace:
     """Fresh reusable scratch for a sequential stream loop."""
     return DenseStreamWorkspace()
+
+
+def stream_y(
+    edges: np.ndarray,
+    sigma: np.ndarray,
+    noise: "NoiseModel | None",
+    noise_rng: "np.random.Generator | None",
+    workspace: DenseStreamWorkspace,
+) -> np.ndarray:
+    """The batch's result vector: one gather + row sum, noise-corrupted.
+
+    Shared verbatim by every dense-generation kernel — ``y`` is computed
+    and corrupted in int64 regardless of the GEMM dtype, so the noise
+    contract (corrupt *before* the Ψ contribution) and the values
+    themselves are identical across generations by construction.
+    """
+    hits = workspace.hits(edges.shape, sigma.dtype)
+    np.take(sigma, edges, out=hits)
+    y = hits.sum(axis=1, dtype=np.int64)
+    if noise is not None:
+        y = noise.corrupt(y, noise_rng)
+    return y
+
+
+def fold_stream(
+    edges: np.ndarray,
+    y: np.ndarray,
+    n: int,
+    psi: np.ndarray,
+    dstar: np.ndarray,
+    delta: np.ndarray,
+    workspace: DenseStreamWorkspace,
+    exact: bool,
+) -> None:
+    """Fold a batch's scattered incidence into ``Ψ/Δ*/Δ`` (in place).
+
+    With ``exact`` the (Δ*, Ψ) contributions are the two rows of one
+    ``(2, rc) @ (rc, n)`` GEMM per chunk in the workspace dtype — the
+    caller guarantees every running sum is exactly representable there.
+    Otherwise the same chunks accumulate through exact integer matmul.
+    """
+    b = edges.shape[0]
+    rows_per = _rows_per_block(n, STREAM_BLOCK_BYTES, workspace.dtype.itemsize)
+    acc_int: "np.ndarray | None" = None if exact else np.zeros((2, n), dtype=np.int64)
+    acc = workspace.acc(n)
+    first = True
+    for lo in range(0, b, rows_per):
+        hi = min(b, lo + rows_per)
+        rc = hi - lo
+        sub = edges[lo:hi]
+        blk = workspace.block(min(b, rows_per), n)[:rc]
+        blk[workspace.row_index(rc), sub] = 1.0
+        if exact:
+            out = acc if first else workspace.tmp(n)
+            coef = workspace.coef(rc)
+            coef[0] = 1.0
+            coef[1] = y[lo:hi]
+            np.matmul(coef, blk, out=out)
+            if not first:
+                acc += out
+        else:
+            coef_int = np.empty((2, rc), dtype=np.int64)
+            coef_int[0] = 1
+            coef_int[1] = y[lo:hi]
+            acc_int += coef_int @ (blk != 0)
+        blk.fill(0.0)
+        first = False
+
+    if exact:
+        np.add(dstar, acc[0], out=dstar, casting="unsafe")
+        np.add(psi, acc[1], out=psi, casting="unsafe")
+    else:
+        dstar += acc_int[0]
+        psi += acc_int[1]
+    delta += np.bincount(edges.ravel(), minlength=n)
 
 
 def stream_batch(
@@ -147,50 +240,56 @@ def stream_batch(
     too.
     """
     ws = workspace if workspace is not None else DenseStreamWorkspace()
-    b = edges.shape[0]
-    hits = ws.hits(edges.shape, sigma.dtype)
-    np.take(sigma, edges, out=hits)
-    y = hits.sum(axis=1, dtype=np.int64)
-    if noise is not None:
-        y = noise.corrupt(y, noise_rng)
-
+    y = stream_y(edges, sigma, noise, noise_rng, ws)
     # Joint exactness bound for both GEMM rows: every running Ψ sum is
     # ≤ Σ|y| and every Δ* count is ≤ b.
-    exact = float(np.abs(y).sum(dtype=np.float64)) + b < _EXACT_LIMIT
-    rows_per = _rows_per_block(n, STREAM_BLOCK_BYTES)
-    acc_int: "np.ndarray | None" = None if exact else np.zeros((2, n), dtype=np.int64)
-    acc = ws.acc(n)
-    first = True
-    for lo in range(0, b, rows_per):
-        hi = min(b, lo + rows_per)
-        rc = hi - lo
-        sub = edges[lo:hi]
-        blk = ws.block(min(b, rows_per), n)[:rc]
-        blk[ws.row_index(rc), sub] = 1.0
-        if exact:
-            out = acc if first else ws.tmp(n)
-            coef = ws.coef(rc)
-            coef[0] = 1.0
-            coef[1] = y[lo:hi]
-            np.matmul(coef, blk, out=out)
-            if not first:
-                acc += out
-        else:
-            coef_int = np.empty((2, rc), dtype=np.int64)
-            coef_int[0] = 1
-            coef_int[1] = y[lo:hi]
-            acc_int += coef_int @ (blk != 0)
-        blk.fill(0.0)
-        first = False
-
-    if exact:
-        np.add(dstar, acc[0], out=dstar, casting="unsafe")
-        np.add(psi, acc[1], out=psi, casting="unsafe")
-    else:
-        dstar += acc_int[0]
-        psi += acc_int[1]
-    delta += np.bincount(edges.ravel(), minlength=n)
+    exact = float(np.abs(y).sum(dtype=np.float64)) + edges.shape[0] < _EXACT_LIMIT
+    fold_stream(edges, y, n, psi, dstar, delta, ws, exact)
     return y
+
+
+def psi_pass(
+    design: "PoolingDesign", y: np.ndarray, with_dstar: bool, dtype: "np.dtype | type | None"
+) -> "tuple[np.ndarray, np.ndarray | None]":
+    """One chunked scatter pass computing ``Ψ`` (and optionally ``Δ*``).
+
+    ``dtype`` selects the GEMM precision; the caller guarantees every
+    running sum (``Σ|y[b]|`` per signal; ``m`` for ``Δ*``) is exactly
+    representable in it.  ``None`` runs the exact integer-matmul tier
+    (``Δ*`` then still accumulates in float64 — bounded by ``m``, far
+    below its mantissa limit).
+    """
+    n, m = design.n, design.m
+    B = y.shape[0]
+    work_dtype = np.dtype(np.float64 if dtype is None else dtype)
+    rows_per = _rows_per_block(n, BLOCK_BYTES, work_dtype.itemsize)
+    block = np.zeros((min(max(m, 1), rows_per), n), dtype=work_dtype)
+    psi_f = np.zeros((B, n), dtype=work_dtype) if dtype is not None else None
+    psi_i = None if dtype is not None else np.zeros((B, n), dtype=np.int64)
+    tmp = np.empty((B, n), dtype=work_dtype) if dtype is not None else None
+    dstar_f = np.zeros(n, dtype=work_dtype) if with_dstar else None
+    yf = y.astype(work_dtype) if dtype is not None else None
+    indptr, entries = design.indptr, design.entries
+    idx = _index_dtype(rows_per)  # row indices only — always fits int32
+    for qlo in range(0, m, rows_per):
+        qhi = min(m, qlo + rows_per)
+        rc = qhi - qlo
+        sizes = indptr[qlo + 1 : qhi + 1] - indptr[qlo:qhi]
+        rows_local = np.repeat(np.arange(rc, dtype=idx), sizes)
+        ents = entries[int(indptr[qlo]) : int(indptr[qhi])]
+        blk = block[:rc]
+        blk[rows_local, ents] = 1.0
+        if with_dstar:
+            dstar_f += blk.sum(axis=0)
+        if dtype is not None:
+            np.matmul(yf[:, qlo:qhi], blk, out=tmp)
+            psi_f += tmp
+        else:
+            psi_i += y[:, qlo:qhi] @ (blk != 0)
+        blk.fill(0.0)
+    psi = psi_f.astype(np.int64) if dtype is not None else psi_i
+    dstar = dstar_f.astype(np.int64) if with_dstar else None
+    return psi, dstar
 
 
 def materialised_psi(
@@ -203,36 +302,9 @@ def materialised_psi(
     scattered blocks (column sums), so :meth:`PoolingDesign.stats` pays a
     single pass over the incidence structure.
     """
-    n, m = design.n, design.m
-    B = y.shape[0]
+    m = design.m
     exact = bool(np.abs(y).sum(axis=1, dtype=np.float64).max() < _EXACT_LIMIT) if m else True
-    rows_per = _rows_per_block(n)
-    block = np.zeros((min(max(m, 1), rows_per), n), dtype=np.float64)
-    psi_f = np.zeros((B, n), dtype=np.float64) if exact else None
-    psi_i = None if exact else np.zeros((B, n), dtype=np.int64)
-    tmp = np.empty((B, n), dtype=np.float64) if exact else None
-    dstar_f = np.zeros(n, dtype=np.float64) if with_dstar else None
-    yf = y.astype(np.float64) if exact else None
-    indptr, entries = design.indptr, design.entries
-    for qlo in range(0, m, rows_per):
-        qhi = min(m, qlo + rows_per)
-        rc = qhi - qlo
-        sizes = indptr[qlo + 1 : qhi + 1] - indptr[qlo:qhi]
-        rows_local = np.repeat(np.arange(rc), sizes)
-        ents = entries[int(indptr[qlo]) : int(indptr[qhi])]
-        blk = block[:rc]
-        blk[rows_local, ents] = 1.0
-        if with_dstar:
-            dstar_f += blk.sum(axis=0)
-        if exact:
-            np.matmul(yf[:, qlo:qhi], blk, out=tmp)
-            psi_f += tmp
-        else:
-            psi_i += y[:, qlo:qhi] @ (blk != 0)
-        blk.fill(0.0)
-    psi = psi_f.astype(np.int64) if exact else psi_i
-    dstar = dstar_f.astype(np.int64) if with_dstar else None
-    return psi, dstar
+    return psi_pass(design, y, with_dstar, np.float64 if exact else None)
 
 
 def materialised_dstar(design: "PoolingDesign") -> np.ndarray:
@@ -244,6 +316,36 @@ def materialised_dstar(design: "PoolingDesign") -> np.ndarray:
     """
     _, dstar = materialised_psi(design, np.zeros((1, design.m), dtype=np.int64), with_dstar=True)
     return dstar
+
+
+def query_pass(design: "PoolingDesign", batch: np.ndarray, dtype: "np.dtype | type") -> np.ndarray:
+    """Chunked count-block ``σ @ countsᵀ`` evaluation in ``dtype``.
+
+    The caller guarantees every count product is exactly representable in
+    ``dtype`` (results are bounded by total draws).  Linearised
+    ``(row, entry)`` bincount indices are int32 whenever the chunk's cell
+    space fits, halving the index traffic of the dominant bincount.
+    """
+    B, n = batch.shape
+    m = design.m
+    work_dtype = np.dtype(dtype)
+    out = np.zeros((B, m), dtype=np.int64)
+    entries, indptr = design.entries, design.indptr
+    bf = batch.astype(work_dtype)
+    rows_per = _rows_per_block(n, BLOCK_BYTES, work_dtype.itemsize)
+    idx = _index_dtype(rows_per * n)
+    tmp = np.empty((B, min(m, rows_per)), dtype=work_dtype)
+    for qlo in range(0, m, rows_per):
+        qhi = min(m, qlo + rows_per)
+        rc = qhi - qlo
+        sizes = indptr[qlo + 1 : qhi + 1] - indptr[qlo:qhi]
+        rows_local = np.repeat(np.arange(rc, dtype=idx), sizes)
+        ents = entries[int(indptr[qlo]) : int(indptr[qhi])]
+        lin = np.add(np.multiply(rows_local, n, dtype=idx), ents, dtype=idx)
+        counts = np.bincount(lin, minlength=rc * n).reshape(rc, n)
+        np.matmul(bf, counts.astype(work_dtype).T, out=tmp[:, :rc])
+        out[:, qlo:qhi] = tmp[:, :rc]
+    return out
 
 
 def query_results_batch(design: "PoolingDesign", batch: np.ndarray) -> np.ndarray:
@@ -263,24 +365,10 @@ def query_results_batch(design: "PoolingDesign", batch: np.ndarray) -> np.ndarra
     """
     B, n = batch.shape
     m = design.m
-    out = np.zeros((B, m), dtype=np.int64)
-    entries, indptr = design.entries, design.indptr
-    if entries.size == 0 or m == 0:
-        return out
-    if not float(entries.size) < _EXACT_LIMIT:  # pragma: no cover - unreachable scale
+    if design.entries.size == 0 or m == 0:
+        return np.zeros((B, m), dtype=np.int64)
+    if not float(design.entries.size) < _EXACT_LIMIT:  # pragma: no cover - unreachable scale
         from repro.kernels import legacy
 
         return legacy.query_results_batch(design, batch)
-    bf = batch.astype(np.float64)
-    rows_per = _rows_per_block(n)
-    tmp = np.empty((B, min(m, rows_per)), dtype=np.float64)
-    for qlo in range(0, m, rows_per):
-        qhi = min(m, qlo + rows_per)
-        rc = qhi - qlo
-        sizes = indptr[qlo + 1 : qhi + 1] - indptr[qlo:qhi]
-        rows_local = np.repeat(np.arange(rc), sizes)
-        ents = entries[int(indptr[qlo]) : int(indptr[qhi])]
-        counts = np.bincount(rows_local * n + ents, minlength=rc * n).reshape(rc, n)
-        np.matmul(bf, counts.astype(np.float64).T, out=tmp[:, :rc])
-        out[:, qlo:qhi] = tmp[:, :rc]
-    return out
+    return query_pass(design, batch, np.float64)

@@ -1,0 +1,134 @@
+"""Generation-2 dense kernels: float32 GEMM under a provable exactness budget.
+
+Same scatter-dedup + BLAS GEMM structure as :mod:`repro.kernels.dense`
+(whose dtype-parametrised passes this module runs), but every block,
+coefficient and accumulator is float32: half the memory traffic through
+the scatter/bincount-bound chunks and twice the SIMD lanes through the
+GEMMs, which is where the generation-over-generation speedup comes from.
+
+Exactness tiers — decided **per call**, mirroring the float64 guard:
+
+* float32 integer accumulation is exact while every running sum stays
+  below 2²⁴; the guard :data:`_EXACT_LIMIT32` (2²³) keeps the same 2×
+  safety margin as :data:`repro.kernels.dense._EXACT_LIMIT`;
+* over budget, the call falls back to the float64 ``dense`` tier
+  verbatim (guarded at 2⁵² as ever);
+* beyond *that*, the exact integer-matmul tier.
+
+The streamed result vector ``y`` is computed and noise-corrupted through
+:func:`repro.kernels.dense.stream_y` in int64 before any tier choice, so
+every output of every tier is bit-identical to ``dense`` and ``legacy``
+on the same sampled edges — asserted by the parity suite.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.kernels import dense
+from repro.kernels.dense import _EXACT_LIMIT, DenseStreamWorkspace
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.core.design import PoolingDesign
+    from repro.noise.models import NoiseModel
+
+NAME = "dense32"
+
+#: Bound under which float32 integer accumulation is exact: 2²³ leaves a
+#: 2× margin over the true 2²⁴ mantissa limit, mirroring the float64
+#: guard's discipline.
+_EXACT_LIMIT32 = float(2**23)
+
+
+class Dense32StreamWorkspace:
+    """Float32 scratch with a lazily created float64 fallback sibling.
+
+    The fallback workspace only materialises on the first over-budget
+    batch, so a stream that stays inside the float32 budget (the common
+    case by orders of magnitude) never allocates float64 blocks.
+    """
+
+    def __init__(self) -> None:
+        self.f32 = DenseStreamWorkspace(np.float32)
+        self._f64: "DenseStreamWorkspace | None" = None
+
+    @property
+    def f64(self) -> DenseStreamWorkspace:
+        if self._f64 is None:
+            self._f64 = DenseStreamWorkspace(np.float64)
+        return self._f64
+
+
+def make_stream_workspace() -> Dense32StreamWorkspace:
+    """Fresh reusable scratch for a sequential stream loop."""
+    return Dense32StreamWorkspace()
+
+
+def stream_batch(
+    edges: np.ndarray,
+    sigma: np.ndarray,
+    n: int,
+    noise: "NoiseModel | None",
+    noise_rng: "np.random.Generator | None",
+    psi: np.ndarray,
+    dstar: np.ndarray,
+    delta: np.ndarray,
+    workspace: "Dense32StreamWorkspace | None" = None,
+) -> np.ndarray:
+    """Fold one ``(b, Γ)`` edge batch through the cheapest exact tier.
+
+    The joint bound covers both GEMM rows (every running Ψ sum is ≤ Σ|y|,
+    every Δ* count is ≤ b) *and* the int64→float32 cast of the ``y``
+    coefficients themselves.
+    """
+    ws = workspace if workspace is not None else Dense32StreamWorkspace()
+    y = dense.stream_y(edges, sigma, noise, noise_rng, ws.f32)
+    bound = float(np.abs(y).sum(dtype=np.float64)) + edges.shape[0]
+    if bound < _EXACT_LIMIT32:
+        dense.fold_stream(edges, y, n, psi, dstar, delta, ws.f32, exact=True)
+    else:
+        dense.fold_stream(edges, y, n, psi, dstar, delta, ws.f64, exact=bound < _EXACT_LIMIT)
+    return y
+
+
+def materialised_psi(
+    design: "PoolingDesign", y: np.ndarray, with_dstar: bool = False
+) -> "tuple[np.ndarray, np.ndarray | None]":
+    """``(B, n)`` ``Ψ`` in float32 when the per-signal budget allows.
+
+    Eligibility requires every ``Σ|y[b]|`` below the float32 budget (the
+    Ψ sums and the cast ``y`` coefficients) and — when ``Δ*`` rides along
+    in the same float32 blocks — ``m`` below it too (``Δ*`` counts are
+    bounded by the query count).  Otherwise the call *is* the float64
+    generation's, fallback tiers included.
+    """
+    m = design.m
+    bound = float(np.abs(y).sum(axis=1, dtype=np.float64).max()) if m else 0.0
+    if bound < _EXACT_LIMIT32 and (not with_dstar or m < _EXACT_LIMIT32):
+        return dense.psi_pass(design, y, with_dstar, np.float32)
+    return dense.materialised_psi(design, y, with_dstar)
+
+
+def materialised_dstar(design: "PoolingDesign") -> np.ndarray:
+    """``Δ*`` via the float32 block pass (float64 when ``m`` ≥ the budget)."""
+    _, dstar = materialised_psi(design, np.zeros((1, design.m), dtype=np.int64), with_dstar=True)
+    return dstar
+
+
+def query_results_batch(design: "PoolingDesign", batch: np.ndarray) -> np.ndarray:
+    """``(B, m)`` additive results through float32 count blocks.
+
+    Every count — and every ``σ @ countsᵀ`` partial sum — is bounded by
+    the design's total draw count, so ``entries.size`` below the float32
+    budget proves the whole pass exact.  Bigger designs take the float64
+    path (itself guarded at 2⁵²).
+    """
+    B, n = batch.shape
+    m = design.m
+    if design.entries.size == 0 or m == 0:
+        return np.zeros((B, m), dtype=np.int64)
+    if float(design.entries.size) < _EXACT_LIMIT32:
+        return dense.query_pass(design, batch, np.float32)
+    return dense.query_results_batch(design, batch)

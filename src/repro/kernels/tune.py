@@ -1,0 +1,310 @@
+"""Kernel autotuner: probe (kernel, BLAS threads), cache the winner.
+
+Which kernel generation wins — and at how many BLAS threads — depends on
+the machine: core count, BLAS vendor, cache sizes, SMT.  Rather than
+hardcode a guess, :func:`tune_kernels` times the three hot kernels
+(streaming statistics, materialised ``Ψ/Δ*``, batched query evaluation)
+on a representative shape class across every registered kernel and a
+ladder of thread counts, and records the winner.
+
+The result feeds :func:`repro.kernels.resolve_kernel` (precedence:
+explicit argument > ``REPRO_KERNEL`` > applied tuning > library default):
+
+* :func:`apply_tuning` installs a result in-process;
+* :func:`save_tuning` / :func:`load_tuning` persist it as JSON —
+  conventionally ``kernel-tuning.json`` beside the ambient
+  :class:`~repro.designs.store.DesignStore`
+  (:func:`default_tuning_path`);
+* the ``REPRO_KERNEL_TUNING`` environment variable names a tuning file
+  loaded lazily on the first default-kernel resolution, so long-lived
+  serving processes pick a tuned default up without code changes.
+
+Tuning is a pure performance knob on top of a bit-identity invariant:
+whichever kernel wins, outputs are identical, so a stale or
+wrong-machine tuning file can cost speed but never correctness.
+
+CLI: ``pooled-repro tune kernels`` (see :mod:`repro.cli`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.kernels import available_kernels, check_kernel, dispatch
+from repro.kernels.threads import blas_thread_limit, cpu_count, detect_blas
+
+__all__ = [
+    "TUNING_ENV",
+    "TUNING_FILE_NAME",
+    "TUNING_FORMAT_VERSION",
+    "ProbeTiming",
+    "TuningResult",
+    "tune_kernels",
+    "apply_tuning",
+    "clear_tuning",
+    "tuned_kernel",
+    "tuned_blas_threads",
+    "active_tuning",
+    "save_tuning",
+    "load_tuning",
+    "default_tuning_path",
+]
+
+#: Environment variable naming a tuning JSON to load on first use.
+TUNING_ENV = "REPRO_KERNEL_TUNING"
+
+#: Conventional tuning-file name (placed beside the design store).
+TUNING_FILE_NAME = "kernel-tuning.json"
+
+#: Bumped on payload layout changes; mismatched files are rejected loudly.
+TUNING_FORMAT_VERSION = 1
+
+#: The probed hot-kernel operations, in report order.
+_OPS = ("stream", "psi", "queries")
+
+
+@dataclass(frozen=True)
+class ProbeTiming:
+    """Best-of-repeats wall time for one (op, kernel, blas_threads) cell."""
+
+    op: str
+    kernel: str
+    blas_threads: int
+    seconds: float
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """A tuning run's verdict: the winning configuration plus every timing.
+
+    ``kernel``/``blas_threads`` minimise the summed hot-kernel time; the
+    full ``timings`` grid is kept for reporting and for re-deciding under
+    a different weighting.
+    """
+
+    kernel: str
+    blas_threads: int
+    shape: "dict[str, int]"
+    timings: "tuple[ProbeTiming, ...]"
+
+    def best(self, op: str) -> ProbeTiming:
+        """The fastest probed cell for one operation."""
+        candidates = [t for t in self.timings if t.op == op]
+        if not candidates:
+            raise KeyError(f"no timings for op {op!r}")
+        return min(candidates, key=lambda t: t.seconds)
+
+    def to_payload(self) -> "dict[str, object]":
+        return {
+            "format_version": TUNING_FORMAT_VERSION,
+            "kernel": self.kernel,
+            "blas_threads": self.blas_threads,
+            "shape": dict(self.shape),
+            "timings": [
+                {"op": t.op, "kernel": t.kernel, "blas_threads": t.blas_threads, "seconds": t.seconds}
+                for t in self.timings
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: "dict[str, object]") -> "TuningResult":
+        try:
+            if int(payload["format_version"]) != TUNING_FORMAT_VERSION:  # type: ignore[arg-type]
+                raise ValueError(f"unsupported tuning format {payload['format_version']!r}")
+            timings = tuple(
+                ProbeTiming(op=str(t["op"]), kernel=str(t["kernel"]), blas_threads=int(t["blas_threads"]), seconds=float(t["seconds"]))
+                for t in payload["timings"]  # type: ignore[union-attr]
+            )
+            result = cls(
+                kernel=str(payload["kernel"]),
+                blas_threads=int(payload["blas_threads"]),  # type: ignore[arg-type]
+                shape={k: int(v) for k, v in payload["shape"].items()},  # type: ignore[union-attr]
+                timings=timings,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"corrupted kernel-tuning payload: {exc}") from exc
+        check_kernel(result.kernel)
+        return result
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _probe_workloads(n: int, m: int, batch: int) -> "dict[str, Callable[[object], object]]":
+    """One deterministic workload per hot op, taking the kernel module.
+
+    Built once (shared arrays, fresh per-call scratch) so every
+    (kernel, threads) cell times identical work on identical data.
+    """
+    from repro.core.design import PoolingDesign
+    from repro.core.signal import random_signal
+
+    rng = np.random.default_rng(0)
+    design = PoolingDesign.sample(n, m, rng)
+    gamma = max(1, n // 2)
+    k = max(1, int(round(n ** 0.5)))
+    sigma = random_signal(n, k, np.random.default_rng(1))
+    edges = np.random.default_rng(2).integers(0, n, size=(min(m, 256), gamma), dtype=np.int64)
+    y_batch = np.stack([design.query_results(random_signal(n, k, np.random.default_rng(3 + i))) for i in range(min(batch, 8))])
+    sigma_batch = np.stack([random_signal(n, k, np.random.default_rng(100 + i)) for i in range(batch)])
+
+    def stream(mod) -> object:
+        psi = np.zeros(n, dtype=np.int64)
+        dstar = np.zeros(n, dtype=np.int64)
+        delta = np.zeros(n, dtype=np.int64)
+        return mod.stream_batch(edges, sigma, n, None, None, psi, dstar, delta, workspace=mod.make_stream_workspace())
+
+    def psi(mod) -> object:
+        return mod.materialised_psi(design, y_batch, with_dstar=True)
+
+    def queries(mod) -> object:
+        return mod.query_results_batch(design, sigma_batch)
+
+    return {"stream": stream, "psi": psi, "queries": queries}
+
+
+def _default_thread_candidates() -> "tuple[int, ...]":
+    """1, powers of two, and the full core count — deduplicated, sorted."""
+    cores = cpu_count()
+    if detect_blas() is None:
+        return (1,)
+    ladder = {1, cores}
+    step = 2
+    while step < cores:
+        ladder.add(step)
+        step *= 2
+    return tuple(sorted(ladder))
+
+
+def tune_kernels(
+    n: int = 10_000,
+    m: int = 256,
+    batch: int = 32,
+    *,
+    kernels: "tuple[str, ...] | None" = None,
+    thread_candidates: "tuple[int, ...] | None" = None,
+    repeats: int = 3,
+) -> TuningResult:
+    """Probe every (kernel, blas_threads) cell and return the winner.
+
+    The winner minimises the summed best-of-``repeats`` time across the
+    three hot operations at one representative shape class (defaults:
+    ``n=10⁴``, ``m=256``, ``batch=32`` — the paper's serving regime).
+    The result is **not** applied automatically; call
+    :func:`apply_tuning` (or persist and load it) to make it the
+    process's default kernel.
+    """
+    names = tuple(check_kernel(k) for k in (kernels or available_kernels()))  # type: ignore[misc]
+    threads = tuple(thread_candidates) if thread_candidates else _default_thread_candidates()
+    if not threads or any(t < 1 for t in threads):
+        raise ValueError(f"thread_candidates must be positive ints, got {threads!r}")
+    workloads = _probe_workloads(n, m, batch)
+    timings: "list[ProbeTiming]" = []
+    totals: "dict[tuple[str, int], float]" = {}
+    for name in names:
+        mod = dispatch(name)
+        for t in threads:
+            with blas_thread_limit(t):
+                for op in _OPS:
+                    fn = workloads[op]
+                    fn(mod)  # warm-up: page in scratch, resolve caches
+                    seconds = _best_of(lambda: fn(mod), repeats)
+                    timings.append(ProbeTiming(op=op, kernel=name, blas_threads=t, seconds=seconds))
+                    totals[(name, t)] = totals.get((name, t), 0.0) + seconds
+    winner = min(totals, key=lambda cell: totals[cell])
+    return TuningResult(
+        kernel=winner[0],
+        blas_threads=winner[1],
+        shape={"n": int(n), "m": int(m), "batch": int(batch)},
+        timings=tuple(timings),
+    )
+
+
+# -- process-wide application -------------------------------------------------
+
+_ACTIVE: "Optional[TuningResult]" = None
+_ENV_LOADED = False
+
+
+def apply_tuning(result: TuningResult) -> None:
+    """Install a tuning result as this process's default-kernel source."""
+    check_kernel(result.kernel)
+    global _ACTIVE
+    _ACTIVE = result
+
+
+def clear_tuning() -> None:
+    """Drop any applied tuning (and re-arm the ``REPRO_KERNEL_TUNING`` load)."""
+    global _ACTIVE, _ENV_LOADED
+    _ACTIVE = None
+    _ENV_LOADED = False
+
+
+def active_tuning() -> "Optional[TuningResult]":
+    """The applied tuning result, loading ``REPRO_KERNEL_TUNING`` once."""
+    global _ENV_LOADED
+    if _ACTIVE is None and not _ENV_LOADED:
+        path = os.environ.get(TUNING_ENV, "").strip()
+        if path:
+            apply_tuning(load_tuning(path))
+        _ENV_LOADED = True
+    return _ACTIVE
+
+
+def tuned_kernel() -> "Optional[str]":
+    """The tuned default kernel name, or ``None`` when untuned."""
+    result = active_tuning()
+    return result.kernel if result is not None else None
+
+
+def tuned_blas_threads() -> "Optional[int]":
+    """The tuned BLAS thread count, or ``None`` when untuned."""
+    result = active_tuning()
+    return result.blas_threads if result is not None else None
+
+
+# -- persistence --------------------------------------------------------------
+
+
+def save_tuning(result: TuningResult, path: "str | Path") -> Path:
+    """Write a tuning result as JSON (atomically), returning the path."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    tmp = out.with_name(f".{out.name}.{os.getpid()}.tmp")
+    tmp.write_text(json.dumps(result.to_payload(), sort_keys=True, indent=2))
+    os.replace(tmp, out)
+    return out
+
+
+def load_tuning(path: "str | Path") -> TuningResult:
+    """Parse a tuning file written by :func:`save_tuning`.
+
+    Raises :class:`ValueError` on a missing/corrupt file or an unknown
+    kernel — ambient misconfiguration fails loudly, like ``REPRO_KERNEL``.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        raise ValueError(f"unreadable kernel-tuning file {path}: {exc}") from exc
+    return TuningResult.from_payload(payload)
+
+
+def default_tuning_path() -> "Optional[Path]":
+    """``kernel-tuning.json`` beside the ambient design store, if configured."""
+    from repro.designs.store import DESIGN_STORE_ENV
+
+    root = os.environ.get(DESIGN_STORE_ENV, "").strip()
+    return Path(root) / TUNING_FILE_NAME if root else None

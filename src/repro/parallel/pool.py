@@ -57,8 +57,28 @@ def resolve_workers(workers: "int | None") -> int:
     return workers
 
 
-def _worker_loop(task_queue: "mp.Queue", result_queue: "mp.Queue") -> None:
-    """Worker main: pull ``(kind, task_id, fn, payload)``, push results."""
+def _worker_loop(
+    task_queue: "mp.Queue",
+    result_queue: "mp.Queue",
+    blas_threads: "int | None" = None,
+    cores: "tuple[int, ...] | None" = None,
+) -> None:
+    """Worker main: pull ``(kind, task_id, fn, payload)``, push results.
+
+    ``blas_threads``/``cores`` apply the pool's thread-governance policy
+    inside the worker itself (not at fork time), so it holds for spawned
+    workers and survives anything the parent does to its own pool after
+    forking.
+    """
+    if cores:
+        try:
+            os.sched_setaffinity(0, cores)
+        except (AttributeError, OSError):  # pragma: no cover - non-Linux / revoked cores
+            pass
+    if blas_threads is not None:
+        from repro.kernels.threads import set_blas_threads
+
+        set_blas_threads(blas_threads)
     cache: dict = {}
     while True:
         kind, task_id, fn, payload = task_queue.get()
@@ -80,10 +100,25 @@ class WorkerPool:
     With ``workers == 1`` the pool runs tasks inline in the parent process
     (no subprocess at all), which makes single-worker runs trivially
     debuggable and exactly as reproducible as the parallel path.
+
+    ``blas_threads`` caps each worker's BLAS threadpool (applied inside the
+    worker via :mod:`repro.kernels.threads` — the cure for ``W × T``
+    oversubscription); ``pin_cores`` optionally pins worker ``i`` to the
+    ``i``-th core tuple via ``sched_setaffinity``.  In the inline
+    (``workers == 1``) case the cap is applied scoped around each
+    :meth:`map` call instead, so the parent's pool configuration is
+    restored afterwards.
     """
 
-    def __init__(self, workers: "int | None" = None):
+    def __init__(
+        self,
+        workers: "int | None" = None,
+        *,
+        blas_threads: "int | None" = None,
+        pin_cores: "Sequence[tuple[int, ...]] | None" = None,
+    ):
         self.workers = resolve_workers(workers)
+        self.blas_threads = blas_threads
         self._procs: "list[mp.process.BaseProcess]" = []
         self._task_queue: Optional[mp.Queue] = None
         self._result_queue: Optional[mp.Queue] = None
@@ -93,8 +128,13 @@ class WorkerPool:
             ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods() else "spawn")
             self._task_queue = ctx.Queue()
             self._result_queue = ctx.Queue()
-            for _ in range(self.workers):
-                p = ctx.Process(target=_worker_loop, args=(self._task_queue, self._result_queue), daemon=True)
+            for i in range(self.workers):
+                cores = tuple(pin_cores[i % len(pin_cores)]) if pin_cores else None
+                p = ctx.Process(
+                    target=_worker_loop,
+                    args=(self._task_queue, self._result_queue, blas_threads, cores),
+                    daemon=True,
+                )
                 p.start()
                 self._procs.append(p)
 
@@ -111,7 +151,10 @@ class WorkerPool:
         if not payloads:
             return []
         if self.workers == 1:
-            return [fn(p, self._inline_cache) for p in payloads]
+            from repro.kernels.threads import blas_thread_limit
+
+            with blas_thread_limit(self.blas_threads):
+                return [fn(p, self._inline_cache) for p in payloads]
         assert self._task_queue is not None and self._result_queue is not None
         for i, payload in enumerate(payloads):
             self._task_queue.put(("task", i, fn, payload))

@@ -144,6 +144,81 @@ class TestCompiledDesign:
             compiled.psi(np.zeros(M + 1, dtype=np.int64))
 
 
+class TestBlockDtype:
+    """Degree-bound-driven Ψ-block precision on CompiledDesign."""
+
+    def test_small_design_gets_float32_block(self, compiled):
+        # entries.size ≪ 2²³ here, so every clean result sum fits float32.
+        assert compiled.block_dtype == np.dtype(np.float32)
+        block = compiled.incidence_block()
+        assert block.dtype == np.dtype(np.float32)
+        assert compiled.block_bytes == 4 * compiled.m * compiled.n  # half the float64 footprint
+
+    def test_big_design_gets_float64_block(self, key, monkeypatch):
+        from repro.designs import compiled as compiled_mod
+
+        monkeypatch.setattr(compiled_mod, "_EXACT_LIMIT32", 1.0)
+        big = compile_from_key(key)
+        assert big.block_dtype == np.dtype(np.float64)
+        assert big.incidence_block().dtype == np.dtype(np.float64)
+
+    def test_psi_through_float32_block_is_exact(self, compiled, sigma):
+        y = compiled.query_results(sigma)
+        assert compiled.incidence_block().dtype == np.dtype(np.float32)
+        got = compiled.psi(y)
+        assert got.dtype == np.int64
+        assert np.array_equal(got, compiled.design.psi(y))
+
+    def test_adversarial_y_falls_back_per_call(self):
+        # Eligibility comes from *clean* result bounds; a caller-supplied y
+        # beyond the float32 budget must still decode exactly.
+        design = PoolingDesign.from_pools(5, [[4], [0, 1], [2, 3]])
+        compiled = CompiledDesign(design)
+        assert compiled.block_dtype == np.dtype(np.float32)
+        compiled.incidence_block()  # make the float32 block resident
+        big = 2**23 + 10
+        y = np.array([big, 0, 0], dtype=np.int64)
+        assert compiled.psi(y)[4] == big
+
+    def test_adopt_block_accepts_both_precisions(self, compiled):
+        for dtype in (np.float32, np.float64):
+            fresh = CompiledDesign(compiled.design, key=compiled.key)
+            block = np.zeros((fresh.m, fresh.n), dtype=dtype)
+            rows = np.repeat(np.arange(fresh.m), np.diff(fresh.design.indptr))
+            block[rows, fresh.design.entries] = 1.0
+            fresh.adopt_block(block)
+            assert fresh.block_resident
+            y = np.arange(fresh.m, dtype=np.int64)
+            assert np.array_equal(fresh.psi(y), compiled.design.psi(y)), str(dtype)
+
+    def test_adopt_block_rejects_bad_dtype_and_shape(self, compiled):
+        fresh = CompiledDesign(compiled.design, key=compiled.key)
+        with pytest.raises(ValueError, match="float32 or float64"):
+            fresh.adopt_block(np.zeros((fresh.m, fresh.n), dtype=np.int64))
+        with pytest.raises(ValueError, match="float32 or float64"):
+            fresh.adopt_block(np.zeros((fresh.m + 1, fresh.n), dtype=np.float32))
+
+    def test_serialization_records_block_dtype(self, compiled, tmp_path):
+        from repro.core.serialization import load_compiled_design, save_design
+
+        path = save_design(tmp_path / "d.npz", compiled)
+        with np.load(path) as data:
+            assert str(data["compiled_block_dtype"]) == "float32"
+        loaded, _ = load_compiled_design(path)
+        assert loaded.block_dtype == np.dtype(np.float32)
+
+    def test_serialization_rejects_inconsistent_block_dtype(self, compiled, tmp_path):
+        from repro.core.serialization import load_compiled_design, save_design
+
+        path = save_design(tmp_path / "d.npz", compiled)
+        with np.load(path) as data:
+            payload = {name: data[name] for name in data.files}
+        payload["compiled_block_dtype"] = np.asarray("float64")  # lies about the bounds
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="block dtype"):
+            load_compiled_design(path)
+
+
 class TestDesignCache:
     def test_hit_miss_counters(self, key, compiled):
         cache = DesignCache()

@@ -39,7 +39,7 @@ class TestDocsSite:
         assert not orphans, f"docs pages absent from mkdocs nav: {orphans}"
 
     def test_required_pages_exist(self):
-        for page in ("index.md", "architecture.md", "design-lifecycle.md", "cli.md", "benchmarking.md"):
+        for page in ("index.md", "architecture.md", "design-lifecycle.md", "kernels.md", "cli.md", "benchmarking.md"):
             assert (DOCS / page).is_file(), f"ISSUE-mandated page missing: {page}"
 
     def test_relative_links_resolve(self):
@@ -54,7 +54,10 @@ class TestDocsSite:
         readme = (REPO / "README.md").read_text()
         assert "docs/" in readme, "README should link into the docs site"
 
-    @pytest.mark.parametrize("env_var", ["REPRO_DESIGN_CACHE", "REPRO_DESIGN_STORE", "REPRO_KERNEL"])
+    @pytest.mark.parametrize(
+        "env_var",
+        ["REPRO_DESIGN_CACHE", "REPRO_DESIGN_STORE", "REPRO_KERNEL", "REPRO_BLAS_THREADS", "REPRO_KERNEL_TUNING"],
+    )
     def test_env_var_table_documents(self, env_var):
         assert env_var in (DOCS / "index.md").read_text()
         assert env_var in (REPO / "README.md").read_text()

@@ -1,4 +1,4 @@
-"""Dense ↔ legacy kernel parity: the dispatch seam and bit-identity.
+"""Kernel parity across generations: the dispatch seam and bit-identity.
 
 The kernel layer (:mod:`repro.kernels`) is a pure performance knob; every
 test here asserts *exact* equality of the integer outputs — the library's
@@ -6,7 +6,9 @@ central reproducibility invariant extended to kernel choice.  Coverage
 follows the seam end to end: streaming statistics (with and without noise,
 serial and multi-worker), materialised designs (regular and ragged),
 batched query evaluation, odd shapes (``B = 1``, last short batch,
-``Γ = 1``), beyond-2⁵³ exactness, and the top-k fast path.
+``Γ = 1``), the precision-tier boundaries (float32's 2²⁴ and float64's
+2⁵³ exact-integer limits, below and above), the BLAS threadpool governor,
+the autotuner, and the top-k fast path.
 """
 
 import numpy as np
@@ -17,10 +19,12 @@ from repro.core.design import PoolingDesign, stream_design_stats
 from repro.core.signal import random_signal
 from repro.engine.backend import SerialBackend, SharedMemBackend, resolve_backend
 from repro.engine.batch import reconstruct_batch, signals_oracle
+from repro.kernels import threads, tune
 from repro.noise.models import DropoutNoise, GaussianNoise
 from repro.parallel.sort import parallel_top_k
 
 STATS_FIELDS = ("y", "psi", "dstar", "delta")
+ALL_KERNELS = ("dense", "dense32", "legacy")
 
 
 def assert_stats_equal(a, b, context=""):
@@ -32,7 +36,7 @@ def assert_stats_equal(a, b, context=""):
 
 class TestDispatch:
     def test_names(self):
-        assert kernels.available_kernels() == ("dense", "legacy")
+        assert kernels.available_kernels() == ALL_KERNELS
         for name in kernels.available_kernels():
             assert kernels.dispatch(name).NAME == name
 
@@ -82,18 +86,20 @@ class TestStreamParity:
     )
     def test_noiseless(self, n, m, gamma, batch_queries):
         sigma = random_signal(n, max(1, n // 8), np.random.default_rng(0))
-        dense = stream_design_stats(sigma, m, root_seed=7, gamma=gamma, batch_queries=batch_queries, kernel="dense")
         legacy = stream_design_stats(sigma, m, root_seed=7, gamma=gamma, batch_queries=batch_queries, kernel="legacy")
-        assert_stats_equal(dense, legacy, f"(n={n}, m={m}, gamma={gamma}, bq={batch_queries})")
+        for kernel in ("dense", "dense32"):
+            got = stream_design_stats(sigma, m, root_seed=7, gamma=gamma, batch_queries=batch_queries, kernel=kernel)
+            assert_stats_equal(got, legacy, f"(kernel={kernel}, n={n}, m={m}, gamma={gamma}, bq={batch_queries})")
 
     @pytest.mark.parametrize("noise", [GaussianNoise(1.5), DropoutNoise(0.2)])
     def test_noisy(self, noise):
         sigma = random_signal(90, 11, np.random.default_rng(1))
-        dense = stream_design_stats(sigma, 41, root_seed=3, batch_queries=8, noise=noise, kernel="dense")
         legacy = stream_design_stats(sigma, 41, root_seed=3, batch_queries=8, noise=noise, kernel="legacy")
-        assert_stats_equal(dense, legacy, f"({noise!r})")
+        for kernel in ("dense", "dense32"):
+            got = stream_design_stats(sigma, 41, root_seed=3, batch_queries=8, noise=noise, kernel=kernel)
+            assert_stats_equal(got, legacy, f"(kernel={kernel}, {noise!r})")
 
-    @pytest.mark.parametrize("kernel", ["dense", "legacy"])
+    @pytest.mark.parametrize("kernel", list(ALL_KERNELS))
     @pytest.mark.parametrize("noise", [None, GaussianNoise(1.0)])
     def test_worker_count_invariance(self, kernel, noise):
         """workers ∈ {1, 2} never changes output, whatever the kernel."""
@@ -135,29 +141,32 @@ class TestMaterialisedParity:
         pools = [[0, 1, 2, 2, 5], [3], [], [6, 6, 6], [0, 5, 1], list(range(7))]
         return PoolingDesign.from_pools(7, pools)
 
+    @pytest.mark.parametrize("kernel", ["dense", "dense32"])
     @pytest.mark.parametrize("B", [1, 5])
-    def test_regular_stats(self, regular, B):
+    def test_regular_stats(self, regular, B, kernel):
         sigmas = np.stack([random_signal(101, 9, np.random.default_rng(i)) for i in range(B)])
         fresh = PoolingDesign(regular.n, regular.entries, regular.indptr)  # isolate caches
-        dense = regular.stats(sigmas, kernel="dense")
+        got = regular.stats(sigmas, kernel=kernel)
         legacy = fresh.stats(sigmas, kernel="legacy")
-        assert_stats_equal(dense, legacy, f"(B={B})")
+        assert_stats_equal(got, legacy, f"(kernel={kernel}, B={B})")
 
-    def test_single_signal_stats(self, regular):
+    @pytest.mark.parametrize("kernel", ["dense", "dense32"])
+    def test_single_signal_stats(self, regular, kernel):
         sigma = random_signal(101, 9, np.random.default_rng(0))
         fresh = PoolingDesign(regular.n, regular.entries, regular.indptr)
-        assert_stats_equal(regular.stats(sigma, kernel="dense"), fresh.stats(sigma, kernel="legacy"))
+        assert_stats_equal(regular.stats(sigma, kernel=kernel), fresh.stats(sigma, kernel="legacy"))
 
-    def test_ragged_from_pools(self, ragged):
+    @pytest.mark.parametrize("kernel", ["dense", "dense32"])
+    def test_ragged_from_pools(self, ragged, kernel):
         fresh = PoolingDesign(ragged.n, ragged.entries, ragged.indptr)
         y = np.array([3, 1, 0, 2, 4, 7], dtype=np.int64)
-        assert np.array_equal(ragged.psi(y, kernel="dense"), fresh.psi(y, kernel="legacy"))
-        assert np.array_equal(ragged.dstar(kernel="dense"), fresh.dstar(kernel="legacy"))
+        assert np.array_equal(ragged.psi(y, kernel=kernel), fresh.psi(y, kernel="legacy"))
+        assert np.array_equal(ragged.dstar(kernel=kernel), fresh.dstar(kernel="legacy"))
         yB = np.stack([y, 2 * y, np.zeros(6, dtype=np.int64)])
-        assert np.array_equal(ragged.psi(yB, kernel="dense"), fresh.psi(yB, kernel="legacy"))
+        assert np.array_equal(ragged.psi(yB, kernel=kernel), fresh.psi(yB, kernel="legacy"))
         sigmas = np.stack([np.array([1, 0, 1, 0, 0, 1, 1], dtype=np.int8)] * 3)
         assert np.array_equal(
-            ragged.query_results(sigmas, kernel="dense"), fresh.query_results(sigmas, kernel="legacy")
+            ragged.query_results(sigmas, kernel=kernel), fresh.query_results(sigmas, kernel="legacy")
         )
 
     def test_batched_query_results_match_single(self, regular):
@@ -206,17 +215,301 @@ class TestEndToEndParity:
                 rng=np.random.default_rng(9),
                 backend=SerialBackend(kernel=kernel),
             )
-        assert np.array_equal(reports["dense"].sigma_hat, reports["legacy"].sigma_hat)
-        assert np.array_equal(reports["dense"].y, reports["legacy"].y)
-        assert np.array_equal(reports["dense"].k, reports["legacy"].k)
+        for kernel in ("dense32", "legacy"):
+            assert np.array_equal(reports["dense"].sigma_hat, reports[kernel].sigma_hat), kernel
+            assert np.array_equal(reports["dense"].y, reports[kernel].y), kernel
+            assert np.array_equal(reports["dense"].k, reports[kernel].k), kernel
 
     def test_batched_grid_point_kernels_identical(self):
         from repro.engine.grid import run_batched_point
 
         a = run_batched_point(90, 60, theta=0.35, trials=5, root_seed=11, kernel="dense")
-        b = run_batched_point(90, 60, theta=0.35, trials=5, root_seed=11, kernel="legacy")
-        assert np.array_equal(a.success, b.success)
-        assert np.array_equal(a.overlap, b.overlap)
+        for kernel in ("dense32", "legacy"):
+            b = run_batched_point(90, 60, theta=0.35, trials=5, root_seed=11, kernel=kernel)
+            assert np.array_equal(a.success, b.success), kernel
+            assert np.array_equal(a.overlap, b.overlap), kernel
+
+
+class _ShiftNoise:
+    """Deterministic test-only channel: shift every count by a constant.
+
+    Lets a test place ``y`` exactly on a precision-tier boundary, which no
+    stochastic library channel can do.
+    """
+
+    def __init__(self, shift: int):
+        self.shift = int(shift)
+
+    def corrupt(self, y, rng):
+        return y + np.int64(self.shift)
+
+
+class TestExactnessBoundaries:
+    """The float32 (2²³) and float64 (2⁵²) guards at their boundaries.
+
+    Each case drives ``y`` just below / just above a budget and asserts
+    (a) the expected tier actually ran and (b) the outputs stay
+    bit-identical across all kernels either way.
+    """
+
+    N = 6
+    EDGES = np.array([[0, 1], [2, 3], [4, 5]], dtype=np.int64)  # each entry in exactly one query
+
+    def _stream_all_kernels(self, shift):
+        sigma = np.ones(self.N, dtype=np.int8)
+        out = {}
+        for name in ALL_KERNELS:
+            mod = kernels.dispatch(name)
+            psi = np.zeros(self.N, dtype=np.int64)
+            dstar = np.zeros(self.N, dtype=np.int64)
+            delta = np.zeros(self.N, dtype=np.int64)
+            y = mod.stream_batch(
+                self.EDGES, sigma, self.N, _ShiftNoise(shift), None, psi, dstar, delta, mod.make_stream_workspace()
+            )
+            out[name] = (y, psi, dstar, delta)
+        return out
+
+    @pytest.mark.parametrize(
+        "shift",
+        [
+            2**21,  # Σ|y| below 2²³: float32 tier
+            2**23,  # Σ|y| above 2²³, below 2⁵²: float64 tier
+            2**52,  # Σ|y| above 2⁵²: exact integer tier
+        ],
+    )
+    def test_stream_bit_identity_across_tiers(self, shift):
+        results = self._stream_all_kernels(shift)
+        y_ref, psi_ref, dstar_ref, delta_ref = results["legacy"]
+        assert np.array_equal(psi_ref, y_ref[[0, 0, 1, 1, 2, 2]])  # one query per entry
+        for name in ("dense", "dense32"):
+            y, psi, dstar, delta = results[name]
+            assert np.array_equal(y, y_ref), f"y differs (kernel={name}, shift=2^{shift.bit_length() - 1})"
+            assert np.array_equal(psi, psi_ref), f"psi differs (kernel={name}, shift=2^{shift.bit_length() - 1})"
+            assert np.array_equal(dstar, dstar_ref) and np.array_equal(delta, delta_ref), name
+
+    def test_stream_tier_selection(self, monkeypatch):
+        """The dense32 guard picks exactly the promised workspace per batch."""
+        from repro.kernels import dense, dense32
+
+        tiers = []
+        real = dense.fold_stream
+
+        def spy(edges, y, n, psi, dstar, delta, workspace, exact):
+            tiers.append((str(workspace.dtype), exact))
+            return real(edges, y, n, psi, dstar, delta, workspace, exact)
+
+        monkeypatch.setattr(dense, "fold_stream", spy)
+        sigma = np.ones(self.N, dtype=np.int8)
+        for shift in (2**21, 2**23, 2**52):
+            z = np.zeros(self.N, dtype=np.int64)
+            dense32.stream_batch(self.EDGES, sigma, self.N, _ShiftNoise(shift), None, z, z.copy(), z.copy())
+        assert tiers == [("float32", True), ("float64", True), ("float64", False)]
+
+    @pytest.mark.parametrize(
+        "value, tier",
+        [
+            (2**23 - 10, "float32"),  # inside the float32 budget
+            (2**23 + 10, "float64"),  # over it, inside float64's
+            (2**52 + 10, "exact-int"),  # over both: integer matmul
+        ],
+    )
+    def test_psi_tier_and_value(self, value, tier, monkeypatch):
+        from repro.kernels import dense
+
+        dtypes = []
+        real = dense.psi_pass
+
+        def spy(design, y, with_dstar, dtype):
+            dtypes.append("exact-int" if dtype is None else str(np.dtype(dtype)))
+            return real(design, y, with_dstar, dtype)
+
+        monkeypatch.setattr(dense, "psi_pass", spy)
+        design = PoolingDesign.from_pools(5, [[4], [0, 1], [2, 3]])  # entry 4 in exactly one query
+        y = np.array([value, 0, 0], dtype=np.int64)
+        got = design.psi(y, kernel="dense32")
+        assert got[4] == value  # Ψ_4 = y of entry 4's only query, bit-exact
+        assert dtypes == [tier]
+        fresh = PoolingDesign(design.n, design.entries, design.indptr)
+        assert np.array_equal(got, fresh.psi(y, kernel="legacy"))
+
+    def test_query_fallback_over_budget(self, monkeypatch):
+        """Shrinking the float32 budget must push queries onto the float64 path."""
+        from repro.kernels import dense, dense32
+
+        design = PoolingDesign.sample(40, 9, np.random.default_rng(0))
+        sigmas = np.stack([random_signal(40, 5, np.random.default_rng(i)) for i in range(3)])
+        expected = design.query_results(sigmas, kernel="legacy")
+        assert np.array_equal(dense32.query_results_batch(design, sigmas), expected)
+        called = []
+        real = dense.query_results_batch
+        monkeypatch.setattr(dense, "query_results_batch", lambda d, b: called.append(1) or real(d, b))
+        monkeypatch.setattr(dense32, "_EXACT_LIMIT32", 4.0)
+        assert np.array_equal(dense32.query_results_batch(design, sigmas), expected)
+        assert called, "over-budget query batch did not fall back to the float64 generation"
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_over_budget_stream_sharedmem(self, workers):
+        """A noise channel blowing the float32 budget: still bit-identical,
+        serial and across a worker pool."""
+        sigma = random_signal(16, 3, np.random.default_rng(5))
+        noise = GaussianNoise(5e6)  # |y| ~ 5·10⁶ ≫ 2²³/m: every batch over budget
+        legacy = stream_design_stats(sigma, 33, root_seed=2, batch_queries=8, noise=noise, kernel="legacy")
+        assert float(np.abs(legacy.y).sum()) > 2**23  # the guard genuinely trips
+        with SharedMemBackend(workers, kernel="dense32") as backend:
+            got = stream_design_stats(sigma, 33, root_seed=2, batch_queries=8, noise=noise, backend=backend)
+        assert_stats_equal(got, legacy, f"(workers={workers})")
+
+
+class TestThreadGovernor:
+    """repro.kernels.threads: detection-tolerant governor behaviour."""
+
+    def test_resolve_blas_threads(self, monkeypatch):
+        monkeypatch.delenv(threads.BLAS_THREADS_ENV, raising=False)
+        assert threads.resolve_blas_threads(None) is None
+        assert threads.resolve_blas_threads(3) == 3
+        monkeypatch.setenv(threads.BLAS_THREADS_ENV, "2")
+        assert threads.resolve_blas_threads(None) == 2
+        assert threads.resolve_blas_threads(5) == 5  # argument beats env
+        with pytest.raises(ValueError):
+            threads.resolve_blas_threads(0)
+        monkeypatch.setenv(threads.BLAS_THREADS_ENV, "zero")
+        with pytest.raises(ValueError):
+            threads.resolve_blas_threads(None)
+
+    def test_worker_thread_budget(self):
+        assert threads.worker_thread_budget(2, cores=8) == 4
+        assert threads.worker_thread_budget(3, cores=8) == 2
+        assert threads.worker_thread_budget(16, cores=8) == 1  # never zero
+        assert threads.worker_thread_budget(1, cores=8) == 8
+
+    def test_worker_core_slices(self):
+        assert threads.worker_core_slices(2, cores=8) == [(0, 1, 2, 3), (4, 5, 6, 7)]
+        slices = threads.worker_core_slices(3, cores=8)
+        assert sorted(c for s in slices for c in s) == list(range(8))  # full coverage, no overlap
+        assert all(s for s in slices)
+        # More workers than cores: round-robin, never an empty affinity set.
+        assert threads.worker_core_slices(3, cores=1) == [(0,), (0,), (0,)]
+
+    def test_blas_thread_limit_scoped(self):
+        before = threads.get_blas_threads()
+        with threads.blas_thread_limit(1):
+            if threads.detect_blas() is not None:
+                assert threads.get_blas_threads() == 1
+        assert threads.get_blas_threads() == before
+        with threads.blas_thread_limit(None):  # explicit no-op
+            assert threads.get_blas_threads() == before
+
+    def test_machine_provenance(self):
+        prov = threads.machine_provenance()
+        assert set(prov) == {"cpu_count", "blas_vendor", "blas_threads", "numpy"}
+        assert prov["cpu_count"] >= 1
+        assert isinstance(prov["blas_vendor"], str)
+        assert prov["numpy"] == np.__version__
+
+    def test_pin_workers_default(self, monkeypatch):
+        monkeypatch.delenv(threads.PIN_WORKERS_ENV, raising=False)
+        assert threads.pin_workers_default() is False
+        for value in ("1", "true", "YES", "on"):
+            monkeypatch.setenv(threads.PIN_WORKERS_ENV, value)
+            assert threads.pin_workers_default() is True
+        monkeypatch.setenv(threads.PIN_WORKERS_ENV, "0")
+        assert threads.pin_workers_default() is False
+
+    def test_backend_governance_defaults(self, monkeypatch):
+        monkeypatch.delenv(threads.BLAS_THREADS_ENV, raising=False)
+        monkeypatch.delenv(threads.PIN_WORKERS_ENV, raising=False)
+        assert SerialBackend().blas_threads is None
+        assert SerialBackend(blas_threads=2).blas_threads == 2
+        multi = SharedMemBackend(4)
+        assert multi.blas_threads == threads.worker_thread_budget(4)  # oversubscription guard
+        assert SharedMemBackend(4, blas_threads=3).blas_threads == 3
+        assert multi.pin_workers is False
+        monkeypatch.setenv(threads.BLAS_THREADS_ENV, "2")
+        assert SerialBackend().blas_threads == 2
+        assert SharedMemBackend(4).blas_threads == 2
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_capped_pool_end_to_end(self, workers):
+        """A worker pool under the thread cap + pinning still bit-matches serial."""
+        sigma = random_signal(60, 7, np.random.default_rng(6))
+        serial = stream_design_stats(sigma, 21, root_seed=9, batch_queries=8, kernel="dense32")
+        with SharedMemBackend(workers, kernel="dense32", blas_threads=1, pin_workers=True) as backend:
+            got = stream_design_stats(sigma, 21, root_seed=9, batch_queries=8, backend=backend)
+        assert_stats_equal(got, serial, f"(workers={workers}, capped+pinned)")
+
+
+class TestTuner:
+    """repro.kernels.tune: probing, persistence, and dispatch precedence."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_tuning_state(self, monkeypatch):
+        monkeypatch.delenv(tune.TUNING_ENV, raising=False)
+        monkeypatch.delenv(kernels.KERNEL_ENV, raising=False)
+        tune.clear_tuning()
+        yield
+        tune.clear_tuning()
+
+    def _tiny(self):
+        return tune.tune_kernels(64, 8, 2, thread_candidates=(1,), repeats=1)
+
+    def test_tune_kernels_probes_every_cell(self):
+        result = self._tiny()
+        assert result.kernel in kernels.available_kernels()
+        assert result.blas_threads == 1
+        seen = {(t.op, t.kernel) for t in result.timings}
+        assert seen == {(op, k) for op in ("stream", "psi", "queries") for k in kernels.available_kernels()}
+        assert all(t.seconds >= 0 for t in result.timings)
+        assert result.best("psi").seconds <= max(t.seconds for t in result.timings)
+
+    def test_save_load_round_trip(self, tmp_path):
+        result = self._tiny()
+        path = tune.save_tuning(result, tmp_path / "tuning.json")
+        loaded = tune.load_tuning(path)
+        assert loaded.kernel == result.kernel
+        assert loaded.blas_threads == result.blas_threads
+        assert loaded.to_payload() == result.to_payload()
+
+    def test_load_rejects_corrupt_and_unknown(self, tmp_path):
+        bad = tmp_path / "tuning.json"
+        bad.write_text("{not json")
+        with pytest.raises(ValueError, match="unreadable"):
+            tune.load_tuning(bad)
+        bad.write_text('{"format_version": 1, "kernel": "turbo", "blas_threads": 1, "shape": {}, "timings": []}')
+        with pytest.raises(ValueError, match="unknown kernel"):
+            tune.load_tuning(bad)
+        with pytest.raises(ValueError, match="unreadable"):
+            tune.load_tuning(tmp_path / "missing.json")
+
+    def test_applied_tuning_feeds_dispatch(self):
+        result = self._tiny()
+        tune.apply_tuning(result)
+        assert kernels.resolve_kernel(None) == result.kernel
+        assert tune.tuned_blas_threads() == 1
+        # Explicit choices still win over tuning.
+        assert kernels.resolve_kernel("legacy") == "legacy"
+        tune.clear_tuning()
+        assert kernels.resolve_kernel(None) == kernels.DEFAULT_KERNEL
+
+    def test_env_kernel_beats_tuning(self, monkeypatch):
+        result = self._tiny()
+        tune.apply_tuning(result)
+        monkeypatch.setenv(kernels.KERNEL_ENV, "legacy")
+        assert kernels.resolve_kernel(None) == "legacy"
+
+    def test_env_tuning_file_loaded_lazily(self, tmp_path, monkeypatch):
+        result = self._tiny()
+        path = tune.save_tuning(result, tmp_path / "tuning.json")
+        monkeypatch.setenv(tune.TUNING_ENV, str(path))
+        tune.clear_tuning()  # re-arm the lazy load
+        assert kernels.resolve_kernel(None) == result.kernel
+
+    def test_default_tuning_path(self, tmp_path, monkeypatch):
+        from repro.designs.store import DESIGN_STORE_ENV
+
+        monkeypatch.delenv(DESIGN_STORE_ENV, raising=False)
+        assert tune.default_tuning_path() is None
+        monkeypatch.setenv(DESIGN_STORE_ENV, str(tmp_path))
+        assert tune.default_tuning_path() == tmp_path / tune.TUNING_FILE_NAME
 
 
 class TestTopKFastPath:
