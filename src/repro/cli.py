@@ -13,6 +13,7 @@ it        empirical Theorem-2 phase transition (exhaustive)
 thresh    threshold constants table across θ
 design    compiled-design lifecycle: build | info | decode | store
 tune      kernel autotuner: probe (kernel, blas_threads) combos
+serve     async decode service with request coalescing (NDJSON)
 ========  =====================================================
 
 The ``design`` group is the deploy-time face of the sample→compile→decode
@@ -20,7 +21,9 @@ lifecycle: ``build`` compiles a stream-keyed design once and persists the
 artifact, ``info`` inspects it, ``decode`` serves observed result vectors
 against it without ever re-streaming the design, and ``store`` manages
 the cross-process compiled-design store (``ls | gc | stats``; see
-``REPRO_DESIGN_STORE``).
+``REPRO_DESIGN_STORE``).  ``serve`` runs the long-lived decode service:
+concurrent single-signal requests coalesce into micro-batches against
+store-attached compiled designs (see ``docs/serving.md``).
 
 All sweeps accept ``--trials`` and ``--workers``; defaults are laptop-scale
 (see EXPERIMENTS.md for the paper-scale invocations).
@@ -44,6 +47,11 @@ from repro.core.thresholds import (
 from repro.util.asciiplot import format_table
 
 __all__ = ["main", "build_parser"]
+
+
+def _serve_env(suffix: str) -> str:
+    """Environment-variable name for a ``serve`` knob (help-text helper)."""
+    return f"REPRO_SERVE_{suffix}"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -149,6 +157,29 @@ def build_parser() -> argparse.ArgumentParser:
         )
         if name == "gc":
             sp.add_argument("--max-bytes", type=int, default=None, help="byte budget (default: the store's configured budget)")
+
+    ps = sub.add_parser("serve", help="async decode service with request coalescing (NDJSON over stdio or TCP)")
+    mode = ps.add_mutually_exclusive_group()
+    mode.add_argument("--stdio", action="store_true", help="speak the protocol on stdin/stdout instead of TCP")
+    mode.add_argument("--host", type=str, default=None, help="TCP bind address (default 127.0.0.1)")
+    ps.add_argument("--port", type=int, default=0, help="TCP port (0 = ephemeral; the bound port is printed on startup)")
+    ps.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=None,
+        help=f"coalescing deadline per design key (default 2.0, or ${{{_serve_env('WINDOW_MS')}}})",
+    )
+    ps.add_argument("--max-batch", type=int, default=None, help=f"flush a bucket at this size (default 64, or ${{{_serve_env('MAX_BATCH')}}})")
+    ps.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        help=f"admission bound on pending requests; beyond it requests get a structured 'overloaded' error (default 1024, or ${{{_serve_env('MAX_QUEUE')}}})",
+    )
+    ps.add_argument("--timeout-ms", type=float, default=10_000.0, help="per-request deadline, window wait included")
+    ps.add_argument("--max-designs", type=int, default=8, help="LRU capacity of attached decoders (designs served concurrently)")
+    ps.add_argument("--blocks", type=int, default=1, help="top-k decomposition width of the MN decoder")
+    ps.add_argument("--store", type=str, default=None, help="design-store directory for read-through compiles (default: $REPRO_DESIGN_STORE)")
 
     ptu = sub.add_parser("tune", help="kernel autotuner: probe (kernel, blas_threads) combos")
     tsub = ptu.add_subparsers(dest="tune_command", required=True)
@@ -447,6 +478,55 @@ def _cmd_design(args) -> int:
     raise AssertionError(f"unhandled design command {args.design_command!r}")
 
 
+def _serve_knob(arg_value, env_suffix: str, default, cast):
+    """One serve knob: explicit argument > REPRO_SERVE_* environment > default."""
+    import os
+
+    if arg_value is not None:
+        return arg_value
+    raw = os.environ.get(_serve_env(env_suffix), "").strip()
+    return cast(raw) if raw else default
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.core.mn import MNDecoder
+    from repro.designs import DesignStore, resolve_design_cache, resolve_design_store
+    from repro.serve import ServeConfig, serve_forever
+
+    try:
+        config = ServeConfig(
+            batch_window_ms=float(_serve_knob(args.batch_window_ms, "WINDOW_MS", 2.0, float)),
+            max_batch=int(_serve_knob(args.max_batch, "MAX_BATCH", 64, int)),
+            max_queue=int(_serve_knob(args.max_queue, "MAX_QUEUE", 1024, int)),
+            timeout_ms=args.timeout_ms,
+            max_designs=args.max_designs,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    store = DesignStore(args.store) if args.store is not None else resolve_design_store(None)
+    # The server types against the Decoder protocol; MN is the reference
+    # implementation plugged in here — a baseline port swaps this one line.
+    decoder = MNDecoder(blocks=args.blocks)
+    try:
+        asyncio.run(
+            serve_forever(
+                decoder,
+                config,
+                stdio=args.stdio,
+                host=args.host if args.host is not None else "127.0.0.1",
+                port=args.port,
+                cache=resolve_design_cache(None),
+                store=store,
+            )
+        )
+    except KeyboardInterrupt:  # pragma: no cover - signal handler normally wins
+        pass
+    return 0
+
+
 def _cmd_tune(args) -> int:
     from repro.kernels import tune
     from repro.kernels.threads import machine_provenance
@@ -496,6 +576,8 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
         return _cmd_thresh(args)
     if args.command == "design":
         return _cmd_design(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "tune":
         return _cmd_tune(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -64,6 +64,11 @@ POINT_TRIAL_STRIDE = 1_000_003
 class MNDecoder:
     """Configured MN decoder.
 
+    The reference implementation of the unified
+    :class:`~repro.designs.protocol.Decoder` protocol: :meth:`compile`
+    binds it to a design and returns the decode-only
+    :class:`~repro.designs.serving.CompiledMNDecoder`.
+
     Parameters
     ----------
     blocks:

@@ -21,7 +21,12 @@ time and reused across calls, batches and processes:
   compiled design — dense ``Ψ`` block included — zero-copy instead of
   re-deriving state per task;
 * :mod:`repro.designs.serving` — :class:`CompiledMNDecoder`, the
-  decode-only hot path behind ``MNDecoder.compile(...)``.
+  decode-only hot path behind ``MNDecoder.compile(...)``;
+* :mod:`repro.designs.protocol` — the unified :class:`Decoder` /
+  :class:`CompiledDecoder` protocol pair (``compile`` →
+  ``decode``/``decode_batch``) that serving layers and baseline ports
+  type against; ``MNDecoder``/``CompiledMNDecoder`` are the reference
+  implementations.
 
 Layering: ``core`` → ``designs`` → ``engine``/``experiments``/``cli``.
 Core entry points accept ``design=``/``cache=``/``store=`` and import
@@ -37,6 +42,7 @@ from repro.designs.cache import (
     resolve_design_cache,
 )
 from repro.designs.compiled import CompiledDesign, DesignKey, compile_design, compile_from_key
+from repro.designs.protocol import CompiledDecoder, Decoder
 from repro.designs.serving import CompiledMNDecoder
 from repro.designs.sharing import CompiledDesignDescriptor, SharedCompiledDesign, attach_compiled
 from repro.designs.store import (
@@ -71,6 +77,8 @@ __all__ = [
     "reset_default_design_store",
     "DESIGN_STORE_ENV",
     "DESIGN_STORE_BYTES_ENV",
+    "Decoder",
+    "CompiledDecoder",
     "CompiledMNDecoder",
     "SharedCompiledDesign",
     "CompiledDesignDescriptor",

@@ -49,6 +49,11 @@ def _psi_rows_task(payload, cache):
 class CompiledMNDecoder:
     """An MN decoder bound to one compiled design.
 
+    The reference implementation of the
+    :class:`~repro.designs.protocol.CompiledDecoder` protocol — layers
+    above (the serve front-end, cross-decoder benchmarks) type against
+    that protocol, not this class.
+
     Create via :meth:`repro.core.mn.MNDecoder.compile`.  Instances hold the
     (optional) shared-memory residency of their design, so long-lived
     serving processes should ``close()`` them (or use ``with``) when the

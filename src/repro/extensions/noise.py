@@ -1,16 +1,28 @@
-"""Compatibility shim — the noise extension grew into :mod:`repro.noise`.
+"""Deprecated compatibility shim — the noise extension grew into :mod:`repro.noise`.
 
 The single-trial noisy toy that lived here is now a first-class subsystem
 (models, keyed corruption streams, robust decoding, the batched noisy
 engine path); see :mod:`repro.noise`.  This module re-exports the original
 public names so historical imports keep working unchanged —
 ``run_noisy_mn_trial`` with default arguments is bit-identical to the
-pre-refactor implementation.
+pre-refactor implementation — but importing it now emits a
+:class:`DeprecationWarning`: switch to ``repro.noise`` /
+``repro.noise.trial``, which export the same objects.
 """
 
 from __future__ import annotations
 
+import warnings
+
 from repro.noise.models import DropoutNoise, GaussianNoise, NoiseModel
 from repro.noise.trial import run_noisy_mn_trial
+
+warnings.warn(
+    "repro.extensions.noise is deprecated and will be removed in a future release; "
+    "import NoiseModel/GaussianNoise/DropoutNoise from repro.noise and "
+    "run_noisy_mn_trial from repro.noise.trial instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["NoiseModel", "GaussianNoise", "DropoutNoise", "run_noisy_mn_trial"]

@@ -1,0 +1,166 @@
+"""The bundled serve client: pipelined NDJSON over a socket or pipe pair.
+
+:class:`ServeClient` is what the tests, the CI smoke step and the load
+benchmark drive the server with — and a reference for writing one in any
+language: write request lines, read response lines, correlate by
+``request_id``.  One connection pipelines any number of concurrent
+requests; a background reader task demultiplexes responses to the
+awaiting callers, so ``N`` coroutines sharing one client see exactly the
+coalescing behavior ``N`` separate processes would.
+
+Examples (against a server on ``host:port``)::
+
+    client = await ServeClient.connect(host, port)
+    response = await client.decode(key, y, k)       # {"ok": True, "support": [...]}
+    await client.close()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.serve.protocol import MAX_LINE_BYTES, parse_response
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.designs.compiled import DesignKey
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """A pipelined client for the serve wire protocol."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._pending: "dict[str | int, asyncio.Future]" = {}
+        self._ids = itertools.count()
+        self._write_lock = asyncio.Lock()
+        self._closed = False
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        """Open a TCP connection to a running serve process."""
+        reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE_BYTES + 1024)
+        return cls(reader, writer)
+
+    # -- the request surface ----------------------------------------------------
+
+    async def decode(
+        self,
+        key: "DesignKey",
+        y: "np.ndarray | list[int]",
+        k: int,
+        *,
+        request_id: "str | int | None" = None,
+    ) -> dict:
+        """Submit one decode request; returns the parsed response dict.
+
+        Success responses have ``ok: True`` and a sorted ``support`` list;
+        failures have ``ok: False`` and a structured ``error`` — the
+        client never raises on a *served* error, only on transport loss.
+        """
+        payload = {
+            "design_key": json.loads(key.to_json()),
+            "y": [int(v) for v in np.asarray(y).tolist()],
+            "k": int(k),
+        }
+        return await self.request(payload, request_id=request_id)
+
+    async def request(self, payload: dict, *, request_id: "str | int | None" = None) -> dict:
+        """Send a raw request object (``request_id`` filled in when absent).
+
+        The low-level door: tests use it to submit deliberately malformed
+        payloads and still correlate the structured error that comes back.
+        """
+        if request_id is None:
+            request_id = f"c{next(self._ids)}"
+        payload = {"request_id": request_id, **payload}
+        future = self._register(request_id)
+        await self._send_line(json.dumps(payload, separators=(",", ":")))
+        return await future
+
+    async def send_raw(self, line: str) -> None:
+        """Write one raw line verbatim (malformed-input tests)."""
+        await self._send_line(line)
+
+    async def next_unmatched(self, timeout: "float | None" = 5.0) -> dict:
+        """The next response whose id no pending request claims.
+
+        Responses to :meth:`send_raw` lines (including ``request_id:
+        null`` errors for unparseable input) land here.
+        """
+        future = self._register(_UNMATCHED)
+        return await asyncio.wait_for(future, timeout)
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _register(self, request_id) -> "asyncio.Future[dict]":
+        if request_id in self._pending:
+            raise ValueError(f"request_id {request_id!r} already in flight")
+        future: "asyncio.Future[dict]" = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        return future
+
+    async def _send_line(self, line: str) -> None:
+        if self._closed:
+            raise ConnectionError("client is closed")
+        async with self._write_lock:
+            self._writer.write(line.encode("utf-8") + b"\n")
+            await self._writer.drain()
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    response = parse_response(line)
+                except ValueError:
+                    continue  # tolerate junk on the stream; requests will time out
+                future = self._pending.pop(response["request_id"], None)
+                if future is None:
+                    future = self._pending.pop(_UNMATCHED, None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            error = ConnectionError("server closed the connection")
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(error)
+            self._pending.clear()
+
+    async def close(self) -> None:
+        """Close the connection; in-flight requests fail with ConnectionError."""
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        await asyncio.gather(self._reader_task, return_exceptions=True)
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, RuntimeError):
+            pass
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+
+#: Sentinel key for :meth:`ServeClient.next_unmatched` registrations.
+_UNMATCHED = object()

@@ -1,0 +1,302 @@
+"""Request coalescing: many single-signal requests, few ``decode_batch`` calls.
+
+The serving economics of this codebase are batch-shaped — one
+``(B, m) @ (m, n)`` GEMM amortises far better than ``B`` single-vector
+decodes (the engine and design PRs measured ~5× at ``B = 64``,
+``n = 10⁴``) — but network clients arrive one signal at a time.  The
+:class:`Coalescer` bridges the two: concurrent requests for the *same
+design key* accumulate in a per-key bucket that flushes onto
+:meth:`~repro.designs.protocol.CompiledDecoder.decode_batch` when either
+
+* the **batch window** elapses (``--batch-window-ms`` — the latency an
+  idle request is willing to spend waiting for company), or
+* the bucket reaches **max batch** (``--max-batch`` — flush immediately,
+  a full GEMM is waiting).
+
+Row results demultiplex back to each awaiting request's future.  Because
+``decode_batch`` is bit-identical row-wise to ``decode`` (the
+:class:`~repro.designs.protocol.CompiledDecoder` contract), coalescing
+changes *when* work runs, never what any client gets back.
+
+Robustness is structural, not best-effort:
+
+* **bounded admission** — at most ``max_queue`` requests may be admitted
+  (buffered or decoding) at once; beyond that :meth:`Coalescer.submit`
+  raises a structured ``overloaded`` error immediately instead of growing
+  a queue without bound (degrade-and-recover, never crash-on-burst);
+* **per-design decoder LRU** — :class:`DecoderPool` holds at most
+  ``max_designs`` attached decoders, read-through compiled from the L1/L2
+  design cache/store on first request (single-flight per key), evicting
+  least-recently-served designs;
+* **isolation** — a failing compile or decode fails exactly the requests
+  in that batch, each with a structured error; the loop, the pool and
+  other keys' batches are untouched.
+
+CPU-heavy work (compilation, the batched GEMM + top-k) runs on a
+single-thread executor so the event loop keeps accepting, parsing and
+timing out requests while NumPy (which releases the GIL in the hot
+kernels) decodes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.serve.protocol import DecodeRequest, ProtocolError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from concurrent.futures import Executor
+
+    from repro.designs.cache import DesignCache
+    from repro.designs.compiled import DesignKey
+    from repro.designs.protocol import CompiledDecoder, Decoder
+    from repro.designs.store import DesignStore
+
+__all__ = ["Coalescer", "DecoderPool", "CoalescerStats"]
+
+
+@dataclass
+class CoalescerStats:
+    """Live telemetry — exposed in logs, the benchmark payload and tests."""
+
+    admitted: int = 0  #: requests currently admitted (buffered or decoding)
+    peak_admitted: int = 0  #: high-water mark of ``admitted``
+    batches: int = 0  #: ``decode_batch`` dispatches
+    requests: int = 0  #: requests served through those batches
+    overloaded: int = 0  #: submissions refused by the admission bound
+    max_batch_seen: int = 0  #: largest micro-batch dispatched
+
+    @property
+    def mean_batch(self) -> float:
+        """Mean micro-batch size (0.0 before the first dispatch)."""
+        return self.requests / self.batches if self.batches else 0.0
+
+
+class DecoderPool:
+    """Per-design LRU of attached decoders over the cache/store layers.
+
+    ``get`` is read-through: a key served for the first time compiles (or
+    mmap-attaches from the L2 :class:`~repro.designs.store.DesignStore`)
+    on the executor, single-flight per key — concurrent batches for one
+    cold key await one compilation.  The pool holds at most
+    ``max_designs`` decoders; the least recently *served* one is evicted
+    (and closed, releasing any shared-memory residency) when a new design
+    crowds it out.
+    """
+
+    def __init__(
+        self,
+        decoder: "Decoder",
+        *,
+        max_designs: int = 8,
+        cache: "DesignCache | None" = None,
+        store: "DesignStore | None" = None,
+        executor: "Executor | None" = None,
+    ):
+        if max_designs < 1:
+            raise ValueError("max_designs must be positive")
+        self._decoder = decoder
+        self.max_designs = int(max_designs)
+        self._cache = cache
+        self._store = store
+        self._executor = executor
+        self._entries: "OrderedDict[DesignKey, CompiledDecoder]" = OrderedDict()
+        self._inflight: "dict[DesignKey, asyncio.Task]" = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    async def get(self, key: "DesignKey") -> "CompiledDecoder":
+        """The attached decoder for ``key`` (compiling read-through on a miss).
+
+        Raises :class:`~repro.serve.protocol.ProtocolError` (``bad_key``)
+        when the key cannot be served — unknown scheme with no store
+        entry, or a key whose compilation rejects it.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        self.misses += 1
+        inflight = self._inflight.get(key)
+        if inflight is None:
+            inflight = asyncio.get_running_loop().create_task(self._admit(key))
+            self._inflight[key] = inflight
+            inflight.add_done_callback(lambda _t: self._inflight.pop(key, None))
+        # shield: one waiter timing out must not cancel the shared compile.
+        return await asyncio.shield(inflight)
+
+    async def _admit(self, key: "DesignKey") -> "CompiledDecoder":
+        loop = asyncio.get_running_loop()
+        try:
+            compiled = await loop.run_in_executor(self._executor, self._compile, key)
+        except (ValueError, TypeError) as exc:
+            raise ProtocolError("bad_key", f"design key cannot be served: {exc}") from exc
+        self._entries[key] = compiled
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_designs:
+            _, evicted = self._entries.popitem(last=False)
+            self.evictions += 1
+            close = getattr(evicted, "close", None)
+            if callable(close):
+                close()
+        return compiled
+
+    def _compile(self, key: "DesignKey") -> "CompiledDecoder":
+        """Executor-side compile — the only place the Decoder protocol is used."""
+        return self._decoder.compile(key, cache=self._cache, store=self._store)
+
+    def close(self) -> None:
+        """Close every attached decoder (drain-time cleanup)."""
+        while self._entries:
+            _, entry = self._entries.popitem(last=False)
+            close = getattr(entry, "close", None)
+            if callable(close):
+                close()
+
+
+@dataclass
+class _Pending:
+    request: DecodeRequest
+    future: "asyncio.Future[np.ndarray]" = field(repr=False)
+
+
+class Coalescer:
+    """Groups admitted requests per design key into deadline/size batches."""
+
+    def __init__(
+        self,
+        pool: DecoderPool,
+        *,
+        window_s: float = 0.002,
+        max_batch: int = 64,
+        max_queue: int = 1024,
+        executor: "Executor | None" = None,
+    ):
+        if window_s < 0:
+            raise ValueError("window_s must be non-negative")
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if max_queue < 1:
+            raise ValueError("max_queue must be positive")
+        self._pool = pool
+        self.window_s = float(window_s)
+        self.max_batch = int(max_batch)
+        self.max_queue = int(max_queue)
+        self._executor = executor
+        self._buckets: "dict[DesignKey, list[_Pending]]" = {}
+        self._timers: "dict[DesignKey, asyncio.TimerHandle]" = {}
+        self._tasks: "set[asyncio.Task]" = set()
+        self._draining = False
+        self.stats = CoalescerStats()
+
+    def submit(self, request: DecodeRequest) -> "asyncio.Future[np.ndarray]":
+        """Admit one request; the future resolves to its support indices.
+
+        Raises :class:`~repro.serve.protocol.ProtocolError` with code
+        ``overloaded`` when the admission queue is full (explicit
+        backpressure — the request was **not** buffered) and
+        ``shutting_down`` once a drain began.
+        """
+        if self._draining:
+            raise ProtocolError("shutting_down", "server is draining; no new requests admitted", request.request_id)
+        if self.stats.admitted >= self.max_queue:
+            self.stats.overloaded += 1
+            raise ProtocolError(
+                "overloaded",
+                f"admission queue full ({self.max_queue} requests pending); retry later",
+                request.request_id,
+            )
+        loop = asyncio.get_running_loop()
+        self.stats.admitted += 1
+        self.stats.peak_admitted = max(self.stats.peak_admitted, self.stats.admitted)
+        future: "asyncio.Future[np.ndarray]" = loop.create_future()
+        bucket = self._buckets.setdefault(request.key, [])
+        bucket.append(_Pending(request, future))
+        if len(bucket) >= self.max_batch:
+            self._flush(request.key)
+        elif len(bucket) == 1:
+            # First request opens the batch window for its key; the timer
+            # is cancelled if the size trigger (or a drain) flushes first.
+            self._timers[request.key] = loop.call_later(self.window_s, self._flush, request.key)
+        return future
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def _flush(self, key: "DesignKey") -> None:
+        timer = self._timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+        pending = self._buckets.pop(key, None)
+        if not pending:
+            return
+        task = asyncio.get_running_loop().create_task(self._run_batch(key, pending))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run_batch(self, key: "DesignKey", pending: "list[_Pending]") -> None:
+        """Decode one micro-batch and demultiplex rows to the awaiting futures."""
+        try:
+            try:
+                decoder = await self._pool.get(key)
+            except ProtocolError as exc:
+                self._fail(pending, exc)
+                return
+            except Exception as exc:  # noqa: BLE001 - isolate arbitrary compile failures
+                self._fail(pending, ProtocolError("internal", f"compilation failed: {exc}"))
+                return
+            Y = np.stack([p.request.y for p in pending])
+            ks = [p.request.k for p in pending]
+            # Uniform weights keep the scalar-k selection path; mixed
+            # weights use the ragged-k batch decode.  Both are row-wise
+            # bit-identical to the single-signal decode (the protocol
+            # contract), so grouping by key alone is safe.
+            k_arg: "int | np.ndarray" = ks[0] if len(set(ks)) == 1 else np.asarray(ks, dtype=np.int64)
+            loop = asyncio.get_running_loop()
+            try:
+                supports = await loop.run_in_executor(self._executor, _decode_supports, decoder, Y, k_arg)
+            except Exception as exc:  # noqa: BLE001 - isolate arbitrary decode failures
+                self._fail(pending, ProtocolError("internal", f"decode failed: {exc}"))
+                return
+            for p, support in zip(pending, supports):
+                if not p.future.done():  # timed-out/cancelled requests are skipped
+                    p.future.set_result(support)
+            self.stats.batches += 1
+            self.stats.requests += len(pending)
+            self.stats.max_batch_seen = max(self.stats.max_batch_seen, len(pending))
+        finally:
+            self.stats.admitted -= len(pending)
+
+    @staticmethod
+    def _fail(pending: "list[_Pending]", error: ProtocolError) -> None:
+        for p in pending:
+            if not p.future.done():
+                p.future.set_exception(ProtocolError(error.code, error.message, p.request.request_id))
+
+    # -- drain ------------------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Refuse new submissions and flush every open bucket immediately."""
+        self._draining = True
+        for key in list(self._buckets):
+            self._flush(key)
+
+    async def drain(self) -> None:
+        """Wait for every dispatched batch to finish (call after ``begin_drain``)."""
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+
+def _decode_supports(decoder: "CompiledDecoder", Y: np.ndarray, k: "int | np.ndarray") -> "list[np.ndarray]":
+    """Executor-side batch decode → per-row sorted support indices."""
+    rows = decoder.decode_batch(Y, k)
+    return [np.flatnonzero(row) for row in rows]

@@ -1,0 +1,346 @@
+"""The asyncio decode service behind ``pooled-repro serve``.
+
+One long-lived process owning a :class:`~repro.serve.coalescer.DecoderPool`
+(attached decoders over the design cache/store) and a
+:class:`~repro.serve.coalescer.Coalescer` (per-key micro-batching), fed by
+either transport:
+
+* **TCP** — ``pooled-repro serve --host 127.0.0.1 --port 0`` accepts any
+  number of concurrent connections; each connection pipelines requests
+  (responses correlate by ``request_id``, not order);
+* **stdio** — ``pooled-repro serve --stdio`` speaks the same protocol on
+  the stdin/stdout pair, the dependency-light mode for supervisors that
+  prefer pipes to sockets.
+
+Lifecycle guarantees (the tentpole's robustness contract):
+
+* a malformed line yields a structured error response for that line only —
+  the connection and every other request survive;
+* admission is bounded: past ``max_queue`` concurrently admitted requests,
+  submissions are refused with a structured ``overloaded`` error *before*
+  buffering anything;
+* every admitted request resolves within ``timeout_ms`` or receives a
+  structured ``timeout`` error;
+* ``SIGTERM``/``SIGINT`` (and stdin EOF in stdio mode) trigger a graceful
+  drain — stop admitting, flush open buckets, decode what was admitted,
+  deliver every response, then exit 0.
+
+The server types against the :class:`~repro.designs.protocol.Decoder`
+protocol only; :class:`~repro.core.mn.MNDecoder` is simply the reference
+implementation the CLI plugs in.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.serve.coalescer import Coalescer, DecoderPool
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    encode_error,
+    encode_success,
+    parse_request,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.designs.cache import DesignCache
+    from repro.designs.protocol import Decoder
+    from repro.designs.store import DesignStore
+
+__all__ = ["ServeConfig", "DecodeServer", "serve_forever"]
+
+#: Environment defaults for the CLI knobs (README env table).
+SERVE_WINDOW_ENV = "REPRO_SERVE_WINDOW_MS"
+SERVE_MAX_BATCH_ENV = "REPRO_SERVE_MAX_BATCH"
+SERVE_MAX_QUEUE_ENV = "REPRO_SERVE_MAX_QUEUE"
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tuning knobs of one serve process (see ``docs/serving.md``).
+
+    ``batch_window_ms`` trades tail latency for throughput: each key's
+    first pending request waits at most this long for company before its
+    micro-batch flushes (a full ``max_batch`` flushes immediately).
+    """
+
+    batch_window_ms: float = 2.0
+    max_batch: int = 64
+    max_queue: int = 1024
+    timeout_ms: float = 10_000.0
+    max_designs: int = 8
+    drain_timeout_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.batch_window_ms < 0:
+            raise ValueError("batch_window_ms must be non-negative")
+        if self.max_batch < 1 or self.max_queue < 1 or self.max_designs < 1:
+            raise ValueError("max_batch, max_queue and max_designs must be positive")
+        if self.timeout_ms <= 0:
+            raise ValueError("timeout_ms must be positive")
+
+    @property
+    def window_s(self) -> float:
+        return self.batch_window_ms / 1e3
+
+    @property
+    def timeout_s(self) -> float:
+        return self.timeout_ms / 1e3
+
+
+class DecodeServer:
+    """The coalescing decode service, transport-agnostic core.
+
+    Parameters
+    ----------
+    decoder:
+        Any :class:`~repro.designs.protocol.Decoder` — the server never
+        imports a concrete decoder class.
+    config:
+        The :class:`ServeConfig` knobs.
+    cache, store:
+        Optional L1/L2 compiled-design layers handed to every read-through
+        ``compile`` (ambient ``REPRO_DESIGN_CACHE``/``REPRO_DESIGN_STORE``
+        resolution happens in the CLI, not here).
+    """
+
+    def __init__(
+        self,
+        decoder: "Decoder",
+        config: "ServeConfig | None" = None,
+        *,
+        cache: "DesignCache | None" = None,
+        store: "DesignStore | None" = None,
+    ):
+        self.config = config if config is not None else ServeConfig()
+        # One executor thread: decodes serialise (one GEMM at a time keeps
+        # BLAS unconflicted) while the loop keeps admitting and timing out.
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._executor = ThreadPoolExecutor(max_workers=1, thread_name_prefix="repro-serve-decode")
+        self.pool = DecoderPool(
+            decoder,
+            max_designs=self.config.max_designs,
+            cache=cache,
+            store=store,
+            executor=self._executor,
+        )
+        self.coalescer = Coalescer(
+            self.pool,
+            window_s=self.config.window_s,
+            max_batch=self.config.max_batch,
+            max_queue=self.config.max_queue,
+            executor=self._executor,
+        )
+        self._request_tasks: "set[asyncio.Task]" = set()
+        self._conn_tasks: "set[asyncio.Task]" = set()
+        self._connections: "set[asyncio.StreamWriter]" = {*()}
+        self._tcp_server: "asyncio.base_events.Server | None" = None
+        self._stopping = asyncio.Event()
+
+    # -- request handling -------------------------------------------------------
+
+    async def _process_line(self, line: bytes, send) -> None:
+        """One request line → exactly one response line, never an exception."""
+        try:
+            request = parse_request(line)
+        except ProtocolError as exc:
+            await send(encode_error(exc.request_id, exc.code, exc.message))
+            return
+        try:
+            future = self.coalescer.submit(request)
+        except ProtocolError as exc:
+            await send(encode_error(exc.request_id, exc.code, exc.message))
+            return
+        try:
+            support = await asyncio.wait_for(future, self.config.timeout_s)
+        except asyncio.TimeoutError:
+            await send(encode_error(request.request_id, "timeout", f"deadline of {self.config.timeout_ms:g}ms elapsed before the decode ran"))
+            return
+        except ProtocolError as exc:
+            await send(encode_error(request.request_id, exc.code, exc.message))
+            return
+        await send(encode_success(request.request_id, support, n=request.key.n, k=request.k))
+
+    async def handle_connection(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        """Serve one NDJSON stream until EOF (shared by TCP and stdio)."""
+        self._connections.add(writer)
+        conn_task = asyncio.current_task()
+        if conn_task is not None:
+            self._conn_tasks.add(conn_task)
+        write_lock = asyncio.Lock()
+
+        async def send(response: str) -> None:
+            async with write_lock:
+                writer.write(response.encode("utf-8") + b"\n")
+                try:
+                    await writer.drain()
+                except (ConnectionError, RuntimeError):  # client went away mid-response
+                    pass
+
+        tasks: "set[asyncio.Task]" = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # An over-long line cannot be resynchronised reliably;
+                    # report it and end this connection (others unaffected).
+                    await send(encode_error(None, "bad_request", f"request line exceeds the {MAX_LINE_BYTES}-byte limit"))
+                    break
+                except ConnectionError:
+                    break
+                if not line:
+                    break  # EOF
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(self._process_line(line, send))
+                tasks.add(task)
+                self._request_tasks.add(task)
+                task.add_done_callback(tasks.discard)
+                task.add_done_callback(self._request_tasks.discard)
+            if tasks:
+                await asyncio.gather(*list(tasks), return_exceptions=True)
+        finally:
+            self._connections.discard(writer)
+            if conn_task is not None:
+                self._conn_tasks.discard(conn_task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, RuntimeError):
+                pass
+
+    # -- transports -------------------------------------------------------------
+
+    async def start_tcp(self, host: str = "127.0.0.1", port: int = 0) -> "tuple[str, int]":
+        """Bind the TCP transport; returns the actual ``(host, port)``."""
+        self._tcp_server = await asyncio.start_server(
+            self.handle_connection,
+            host,
+            port,
+            limit=MAX_LINE_BYTES + 1024,
+        )
+        bound = self._tcp_server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def serve_stdio(self) -> None:
+        """Speak the protocol on this process's stdin/stdout pair."""
+        loop = asyncio.get_running_loop()
+        reader = asyncio.StreamReader(limit=MAX_LINE_BYTES + 1024)
+        await loop.connect_read_pipe(lambda: asyncio.StreamReaderProtocol(reader), sys.stdin)
+        w_transport, w_protocol = await loop.connect_write_pipe(asyncio.streams.FlowControlMixin, sys.stdout)
+        writer = asyncio.StreamWriter(w_transport, w_protocol, reader, loop)
+        await self.handle_connection(reader, writer)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Signal-safe stop request: begins the graceful drain."""
+        self._stopping.set()
+
+    async def wait_stopped(self) -> None:
+        await self._stopping.wait()
+
+    async def drain(self) -> None:
+        """Graceful drain: admit nothing new, decode and answer the admitted.
+
+        1. stop accepting connections; 2. flush every open bucket and
+        refuse new submissions (``shutting_down``); 3. wait for dispatched
+        batches; 4. wait for response writes (bounded by
+        ``drain_timeout_s``); 5. close connections and decoders.
+        """
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+        self.coalescer.begin_drain()
+        await self.coalescer.drain()
+        if self._request_tasks:
+            # Every future is resolved; give the response writers a bounded
+            # window to flush (a wedged client cannot hold the drain open).
+            await asyncio.wait(list(self._request_tasks), timeout=self.config.drain_timeout_s)
+        for writer in list(self._connections):
+            try:
+                writer.close()
+            except RuntimeError:  # pragma: no cover - transport already gone
+                pass
+        if self._conn_tasks:
+            # Closed transports feed EOF to the readers, so handlers exit
+            # cleanly within the grace window; stragglers (a reader that
+            # cannot see the close, e.g. a still-open stdin) are cancelled.
+            _done, stragglers = await asyncio.wait(list(self._conn_tasks), timeout=1.0)
+            for task in stragglers:
+                task.cancel()
+            if stragglers:
+                await asyncio.gather(*stragglers, return_exceptions=True)
+        if self._tcp_server is not None:
+            await self._tcp_server.wait_closed()
+        self.pool.close()
+        self._executor.shutdown(wait=True)
+
+
+async def serve_forever(
+    decoder: "Decoder",
+    config: "ServeConfig | None" = None,
+    *,
+    stdio: bool = False,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    cache: "DesignCache | None" = None,
+    store: "DesignStore | None" = None,
+    ready: "Optional[asyncio.Future]" = None,
+    install_signal_handlers: bool = True,
+) -> None:
+    """Run a :class:`DecodeServer` until SIGTERM/SIGINT (or stdin EOF), then drain.
+
+    ``ready`` (an optional future) resolves to the bound ``(host, port)``
+    once the TCP transport is listening — how in-process tests and the
+    benchmark learn the ephemeral port.  In stdio mode it resolves to
+    ``None`` when the stream handler is up.
+    """
+    server = DecodeServer(decoder, config, cache=cache, store=store)
+    loop = asyncio.get_running_loop()
+    if install_signal_handlers:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, server.request_stop)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover - non-POSIX loop
+                pass
+    try:
+        if stdio:
+            if ready is not None and not ready.done():
+                ready.set_result(None)
+            stdio_task = asyncio.ensure_future(server.serve_stdio())
+            stop_task = asyncio.ensure_future(server.wait_stopped())
+            # stdin EOF is the pipe-world SIGTERM: either ends the serve loop.
+            await asyncio.wait({stdio_task, stop_task}, return_when=asyncio.FIRST_COMPLETED)
+            stop_task.cancel()
+            await server.drain()
+            # The stdio handler ends once its writer closes in drain().
+            await asyncio.gather(stdio_task, return_exceptions=True)
+        else:
+            bound = await server.start_tcp(host, port)
+            if ready is not None and not ready.done():
+                ready.set_result(bound)
+            print(f"serving on {bound[0]}:{bound[1]}", flush=True)
+            await server.wait_stopped()
+            await server.drain()
+        stats = server.coalescer.stats
+        print(
+            f"drained: {stats.requests} requests in {stats.batches} batches "
+            f"(mean batch {stats.mean_batch:.1f}, peak queue {stats.peak_admitted}, "
+            f"overloaded {stats.overloaded})",
+            file=sys.stderr,
+            flush=True,
+        )
+    finally:
+        if install_signal_handlers:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.remove_signal_handler(sig)
+                except (NotImplementedError, RuntimeError, ValueError):  # pragma: no cover
+                    pass

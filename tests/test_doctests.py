@@ -14,7 +14,9 @@ MODULES_WITH_DOCTESTS = [
     "repro.core.mn",
     "repro.designs.cache",
     "repro.designs.compiled",
+    "repro.designs.protocol",
     "repro.designs.store",
+    "repro.serve.protocol",
     "repro.engine.backend",
     "repro.noise.models",
     "repro.rng.mt19937",

@@ -1,0 +1,170 @@
+"""Wire-protocol tests: request/response round-trips and malformed payloads.
+
+Every malformed line must map to a structured :class:`ProtocolError`
+carrying the offending ``request_id`` whenever one could be extracted —
+the contract that lets the server answer garbage with an error response
+instead of dying or dropping the connection.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.designs import DesignKey
+from repro.serve import (
+    ERROR_CODES,
+    ProtocolError,
+    encode_error,
+    encode_success,
+    parse_request,
+    parse_response,
+)
+
+KEY = DesignKey.for_stream(32, 8, root_seed=7)
+
+
+def make_line(**overrides):
+    payload = {
+        "request_id": "r1",
+        "design_key": json.loads(KEY.to_json()),
+        "y": [0] * KEY.m,
+        "k": 3,
+    }
+    payload.update(overrides)
+    for field, value in list(payload.items()):
+        if value is _ABSENT:
+            del payload[field]
+    return json.dumps(payload)
+
+
+_ABSENT = object()
+
+
+class TestParseRequest:
+    def test_round_trip(self):
+        y = list(range(KEY.m))
+        req = parse_request(make_line(y=y, k=5))
+        assert req.request_id == "r1"
+        assert req.key == KEY
+        assert req.k == 5
+        assert req.y.dtype == np.int64
+        assert req.y.tolist() == y
+        assert not req.y.flags.writeable  # frozen: shared with the batch stack
+
+    def test_accepts_bytes_and_canonical_string_key(self):
+        line = make_line(design_key=KEY.to_json())
+        req = parse_request(line.encode("utf-8"))
+        assert req.key == KEY
+
+    def test_accepts_integer_request_id(self):
+        assert parse_request(make_line(request_id=42)).request_id == 42
+
+    @pytest.mark.parametrize(
+        "line, code",
+        [
+            ("this is not json", "bad_request"),
+            ("[1, 2, 3]", "bad_request"),
+            ('"just a string"', "bad_request"),
+            (b"\xff\xfe not utf-8", "bad_request"),
+        ],
+    )
+    def test_unparseable_lines(self, line, code):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(line)
+        assert err.value.code == code
+        assert err.value.request_id is None  # no id could be extracted
+
+    @pytest.mark.parametrize("bad_id", [None, 1.5, True, {"a": 1}, _ABSENT])
+    def test_bad_request_id(self, bad_id):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(make_line(request_id=bad_id))
+        assert err.value.code == "bad_request"
+
+    @pytest.mark.parametrize("field", ["design_key", "y", "k"])
+    def test_missing_field_names_field_and_keeps_id(self, field):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(make_line(**{field: _ABSENT}))
+        assert err.value.code == "bad_request"
+        assert field in err.value.message
+        assert err.value.request_id == "r1"
+
+    @pytest.mark.parametrize(
+        "bad_key",
+        [
+            {"nope": 1},
+            "not canonical json",
+            {"scheme": "martian", "m": 4, "n": 16},
+            17,
+        ],
+    )
+    def test_bad_design_key(self, bad_key):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(make_line(design_key=bad_key))
+        assert err.value.code == "bad_key"
+        assert err.value.request_id == "r1"
+
+    @pytest.mark.parametrize(
+        "bad_y, fragment",
+        [
+            ([0] * (KEY.m - 1), f"m={KEY.m}"),
+            ([0] * (KEY.m + 3), f"m={KEY.m}"),
+            ([0.5] * KEY.m, "integers"),
+            ([True] * KEY.m, "integers"),
+            ("not a list", "list"),
+        ],
+    )
+    def test_bad_y(self, bad_y, fragment):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(make_line(y=bad_y))
+        assert err.value.code == "bad_y"
+        assert fragment in err.value.message
+        assert err.value.request_id == "r1"
+
+    @pytest.mark.parametrize("bad_k", [0, -1, KEY.n + 1, 1.5, True, "3"])
+    def test_bad_k(self, bad_k):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(make_line(k=bad_k))
+        assert err.value.code == "bad_k"
+        assert err.value.request_id == "r1"
+
+
+class TestResponses:
+    def test_success_round_trip(self):
+        line = encode_success("r9", np.array([2, 5, 11]), n=KEY.n, k=3)
+        resp = parse_response(line)
+        assert resp == {"request_id": "r9", "ok": True, "n": KEY.n, "k": 3, "support": [2, 5, 11]}
+
+    def test_error_round_trip_with_null_id(self):
+        line = encode_error(None, "bad_request", "not json")
+        resp = parse_response(line.encode("utf-8"))
+        assert resp["request_id"] is None
+        assert resp["ok"] is False
+        assert resp["error"]["code"] == "bad_request"
+
+    def test_every_error_code_encodes(self):
+        for code in ERROR_CODES:
+            resp = parse_response(encode_error("x", code, "msg"))
+            assert resp["error"]["code"] == code
+
+    def test_encode_error_rejects_unknown_code(self):
+        with pytest.raises(ValueError):
+            encode_error("x", "made_up_code", "msg")
+
+    def test_protocol_error_rejects_unknown_code(self):
+        with pytest.raises(ValueError):
+            ProtocolError("made_up_code", "msg")
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not json",
+            '{"ok": true}',  # no request_id
+            '{"request_id": 1, "ok": true}',  # success without support
+            '{"request_id": 1, "ok": false}',  # error without structure
+            '{"request_id": 1, "ok": false, "error": {"code": "martian"}}',
+        ],
+    )
+    def test_parse_response_rejects_malformed(self, line):
+        with pytest.raises(ValueError):
+            parse_response(line)
