@@ -141,11 +141,12 @@ def build_parser() -> argparse.ArgumentParser:
     dd.add_argument("--y-file", type=str, default=None, help="whitespace-separated result counts (default: results stored in the artifact)")
     dd.add_argument("--blocks", type=int, default=1, help="top-k decomposition width")
 
-    ds = dsub.add_parser("store", help="cross-process design store: ls | gc | stats")
+    ds = dsub.add_parser("store", help="cross-process design store: ls | gc | fsck | stats")
     ssub = ds.add_subparsers(dest="store_command", required=True)
     for name, help_text in (
         ("ls", "list persisted compiled designs (most recently used first)"),
-        ("gc", "evict least-recently-used entries down to a byte budget"),
+        ("gc", "reap crash residue, then evict LRU entries down to a byte budget"),
+        ("fsck", "verify every entry's integrity manifest; quarantine failures"),
         ("stats", "footprint and cumulative cross-process counters"),
     ):
         sp = ssub.add_parser(name, help=help_text)
@@ -156,7 +157,8 @@ def build_parser() -> argparse.ArgumentParser:
             help=f"store directory (default: ${{{'REPRO_DESIGN_STORE'}}})",
         )
         if name == "gc":
-            sp.add_argument("--max-bytes", type=int, default=None, help="byte budget (default: the store's configured budget)")
+            sp.add_argument("--max-bytes", type=int, default=None, help="byte budget (default: the store's configured budget; none = residue reaping only)")
+            sp.add_argument("--grace-s", type=float, default=None, help="age (seconds) before crash residue is reaped (default 3600)")
 
     ps = sub.add_parser("serve", help="async decode service with request coalescing (NDJSON over stdio or TCP)")
     mode = ps.add_mutually_exclusive_group()
@@ -178,6 +180,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.add_argument("--timeout-ms", type=float, default=10_000.0, help="per-request deadline, window wait included")
     ps.add_argument("--max-designs", type=int, default=8, help="LRU capacity of attached decoders (designs served concurrently)")
+    ps.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=None,
+        help=f"consecutive batch failures that open a key's circuit breaker (default 5, or ${{{_serve_env('BREAKER_THRESHOLD')}}})",
+    )
+    ps.add_argument(
+        "--breaker-cooldown-ms",
+        type=float,
+        default=None,
+        help=f"open-breaker cooldown before a half-open probe (default 5000, or ${{{_serve_env('BREAKER_COOLDOWN_MS')}}})",
+    )
+    ps.add_argument("--decode-retries", type=int, default=1, help="failed-batch retries on a freshly attached decoder")
     ps.add_argument("--blocks", type=int, default=1, help="top-k decomposition width of the MN decoder")
     ps.add_argument("--store", type=str, default=None, help="design-store directory for read-through compiles (default: $REPRO_DESIGN_STORE)")
 
@@ -402,15 +417,31 @@ def _cmd_design_store(args) -> int:
         print(f"{len(entries)} entries, {sum(e.nbytes for e in entries)} bytes in {store.root}")
         return 0
     if args.store_command == "gc":
+        from repro.designs.store import RESIDUE_GRACE_S
+
+        grace = args.grace_s if args.grace_s is not None else RESIDUE_GRACE_S
         budget = args.max_bytes if args.max_bytes is not None else store.max_bytes
         if budget is None:
-            print("error: no byte budget; pass --max-bytes or set REPRO_DESIGN_STORE_BYTES", file=sys.stderr)
-            return 2
-        evicted = store.gc(budget)
+            # No byte budget: gc still reaps crash residue (orphaned tmp
+            # dirs, stale stats temps, aged quarantine holdings).
+            reaped = store.reap_residue(grace_s=grace)
+            print(f"reaped {reaped} residue item(s); no byte budget, no entries evicted")
+            return 0
+        evicted = store.gc(budget, residue_grace_s=grace)
         for e in evicted:
             print(f"evicted {e.digest[:12]} ({e.nbytes} bytes)")
         print(f"freed {sum(e.nbytes for e in evicted)} bytes; {store.nbytes} bytes remain (budget {budget})")
         return 0
+    if args.store_command == "fsck":
+        report = store.fsck()
+        for digest in report.quarantined:
+            print(f"quarantined {digest[:12]} (integrity check failed)")
+        print(
+            f"checked {report.checked} entries: {len(report.ok)} ok, "
+            f"{len(report.quarantined)} quarantined; {report.residue} residue item(s), "
+            f"{report.quarantine_held} held in quarantine"
+        )
+        return 0 if report.clean else 1
     if args.store_command == "stats":
         s = store.stats
         cumulative = store.persistent_stats()
@@ -423,6 +454,7 @@ def _cmd_design_store(args) -> int:
             ("misses (all processes)", str(cumulative["misses"])),
             ("publishes (all processes)", str(cumulative["publishes"])),
             ("evictions (all processes)", str(cumulative["evictions"])),
+            ("quarantined (all processes)", str(cumulative["quarantined"])),
         ]
         print(format_table(["field", "value"], rows))
         return 0
@@ -502,6 +534,9 @@ def _cmd_serve(args) -> int:
             max_queue=int(_serve_knob(args.max_queue, "MAX_QUEUE", 1024, int)),
             timeout_ms=args.timeout_ms,
             max_designs=args.max_designs,
+            decode_retries=args.decode_retries,
+            breaker_threshold=int(_serve_knob(args.breaker_threshold, "BREAKER_THRESHOLD", 5, int)),
+            breaker_cooldown_ms=float(_serve_knob(args.breaker_cooldown_ms, "BREAKER_COOLDOWN_MS", 5000.0, float)),
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -49,6 +49,7 @@ from repro.designs.store import (
     DESIGN_STORE_BYTES_ENV,
     DESIGN_STORE_ENV,
     DesignStore,
+    FsckReport,
     StoreEntry,
     StoreStats,
     default_design_store,
@@ -71,6 +72,7 @@ __all__ = [
     "DesignStore",
     "StoreStats",
     "StoreEntry",
+    "FsckReport",
     "fetch_compiled",
     "resolve_design_store",
     "default_design_store",

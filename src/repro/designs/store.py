@@ -22,10 +22,22 @@ directory so that every process on the machine shares one compilation:
   ``flock``, so a fleet of workers starting together compiles once;
 * **byte-budgeted eviction** — :meth:`gc` removes least-recently-used
   entries over the budget, skipping any entry currently mmap-attached by
-  a reader (readers hold a shared lock for the life of their mapping);
+  a reader (readers hold a shared lock for the life of their mapping) —
+  and reaps crash residue: orphaned publication temp dirs, stale
+  ``stats.json`` temp files and aged quarantine holdings past a grace
+  period;
+* **integrity + self-repair** — every publication writes a per-file
+  SHA-256 manifest into ``meta.json``; :meth:`get` verifies it on attach
+  (skippable via ``verify=False``), and a corrupt or torn entry is
+  **quarantined** — renamed into ``.quarantine/`` for post-mortem, counted
+  in :class:`StoreStats` — then transparently recompiled through the
+  existing single-flight path.  :meth:`fsck` audits the whole store on
+  demand (``design store fsck``).  Verification runs *once per attach*,
+  never on the decode hot path, so warm-decode cost is untouched;
 * **telemetry** — per-instance :attr:`stats` counters shaped like
   :class:`~repro.designs.cache.CacheStats`, plus cumulative cross-process
-  counters persisted in ``stats.json``.
+  counters persisted in ``stats.json`` (written atomically: tmp +
+  ``os.replace``, so a crash mid-write can never corrupt them).
 
 Layered lookups go **L1 → L2 → compile**: :func:`fetch_compiled` composes
 a :class:`DesignCache` over a :class:`DesignStore` so a hit in either
@@ -50,18 +62,21 @@ True
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import shutil
+import time
 import uuid
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Iterator
 
 import numpy as np
 
 from repro.designs.compiled import CompiledDesign, DesignKey
+from repro.faults import trip as _fault_trip
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.designs.cache import DesignCache
@@ -78,6 +93,7 @@ __all__ = [
     "DesignStore",
     "StoreStats",
     "StoreEntry",
+    "FsckReport",
     "fetch_compiled",
     "resolve_design_store",
     "default_design_store",
@@ -85,6 +101,7 @@ __all__ = [
     "DESIGN_STORE_ENV",
     "DESIGN_STORE_BYTES_ENV",
     "STORE_FORMAT_VERSION",
+    "RESIDUE_GRACE_S",
 ]
 
 #: Environment variable naming the ambient store directory.  Unset (or
@@ -97,15 +114,24 @@ DESIGN_STORE_ENV = "REPRO_DESIGN_STORE"
 DESIGN_STORE_BYTES_ENV = "REPRO_DESIGN_STORE_BYTES"
 
 #: On-disk entry format; bumped on layout changes so stale entries are
-#: treated as misses instead of being misread.
-STORE_FORMAT_VERSION = 1
+#: treated as misses instead of being misread.  Version 2 added the
+#: per-file SHA-256 integrity manifest — version-1 entries (no manifest)
+#: read as misses and are recompiled, never half-trusted.
+STORE_FORMAT_VERSION = 2
 
 #: The compiled arrays every entry persists, in publication order.
 _ARRAY_FIELDS = ("entries", "indptr", "dstar", "delta")
 
+#: Grace period (seconds) before :meth:`DesignStore.gc` reaps crash
+#: residue — orphaned ``.tmp-*`` publication dirs, stale ``.stats-*``
+#: counter temp files and quarantined entries.  Long enough that a slow
+#: but live publisher is never swept out from under its own rename.
+RESIDUE_GRACE_S = 3600.0
+
 _META_NAME = "meta.json"
 _LOCK_NAME = ".lock"
 _USED_NAME = ".last-used"
+_QUARANTINE_DIR = ".quarantine"
 
 
 @dataclass(frozen=True)
@@ -113,7 +139,8 @@ class StoreStats:
     """Counters snapshot, unified with :class:`~repro.designs.cache.CacheStats`.
 
     ``hits``/``misses``/``evictions`` count this instance's lifetime (the
-    in-process view); ``publishes`` counts artifacts this instance wrote.
+    in-process view); ``publishes`` counts artifacts this instance wrote
+    and ``quarantined`` the corrupt entries this instance set aside.
     ``entries``/``nbytes`` describe the directory *now* — shared state, so
     they reflect every process's activity.
     """
@@ -124,6 +151,7 @@ class StoreStats:
     publishes: int
     entries: int
     nbytes: int
+    quarantined: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -141,6 +169,44 @@ class StoreEntry:
     nbytes: int
     last_used: float
     path: Path
+
+
+@dataclass(frozen=True)
+class FsckReport:
+    """Audit result from :meth:`DesignStore.fsck`.
+
+    ``checked`` entries were examined; ``ok`` names passed every manifest
+    digest; ``quarantined`` names failed and were set aside; ``residue``
+    counts crash leftovers visible in the root (orphaned ``.tmp-*`` dirs
+    and stale ``.stats-*`` temp files — reaped by :meth:`DesignStore.gc`,
+    not by fsck); ``quarantine_held`` counts entries currently parked in
+    ``.quarantine/`` awaiting post-mortem or reaping.
+    """
+
+    checked: int
+    ok: "tuple[str, ...]" = field(default=())
+    quarantined: "tuple[str, ...]" = field(default=())
+    residue: int = 0
+    quarantine_held: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when every checked entry verified and nothing needs attention.
+
+        Held quarantine items count against cleanliness: they are evidence
+        of past corruption awaiting post-mortem or reaping, and a clean
+        bill of health should not paper over them.
+        """
+        return not self.quarantined and self.residue == 0 and self.quarantine_held == 0
+
+
+def _sha256_file(path: Path) -> str:
+    """Streaming SHA-256 of one file (1 MiB chunks; no full-file load)."""
+    h = hashlib.sha256()
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
 
 
 class _EntryReadLock:
@@ -207,6 +273,11 @@ class DesignStore:
         worker decodes with **no** block rebuild (the dominant warm-path
         cost) and all attached processes share one page-cached copy.
         Pass ``False`` for a lean store holding structure only.
+    verify:
+        Check each entry's SHA-256 manifest on attach (the default).  The
+        cost is one streaming hash per (process, key) — off the decode hot
+        path entirely.  Pass ``False`` to trust the filesystem (e.g. an
+        immutable read-only image already verified once).
 
     Examples
     --------
@@ -220,26 +291,34 @@ class DesignStore:
     (1, 1)
     """
 
-    def __init__(self, root: "str | Path", max_bytes: "int | None" = None, *, keep_blocks: bool = True):
+    def __init__(
+        self,
+        root: "str | Path",
+        max_bytes: "int | None" = None,
+        *,
+        keep_blocks: bool = True,
+        verify: bool = True,
+    ):
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError("max_bytes must be positive (or None for unbounded)")
         self.root = Path(root)
         self.max_bytes = int(max_bytes) if max_bytes is not None else None
         self.keep_blocks = bool(keep_blocks)
+        self.verify = bool(verify)
         self._locks = self.root / ".locks"
         self._locks.mkdir(parents=True, exist_ok=True)
+        self._quarantine_dir = self.root / _QUARANTINE_DIR
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._publishes = 0
+        self._quarantined = 0
 
     # -- addressing -------------------------------------------------------------
 
     @staticmethod
     def digest(key: DesignKey) -> str:
         """Content address of ``key``: SHA-256 of its canonical JSON."""
-        import hashlib
-
         return hashlib.sha256(key.to_json().encode("ascii")).hexdigest()
 
     def entry_dir(self, key: DesignKey) -> Path:
@@ -272,13 +351,15 @@ class DesignStore:
         try:
             compiled = self._attach(path, key)
         except (ValueError, OSError):
-            # Truncated arrays, a vanished file mid-attach, or meta that no
-            # longer matches the key: never serve garbage — drop the entry
-            # (best effort; an entry locked by a healthy reader is left).
+            # Truncated arrays, a manifest digest mismatch, a vanished file
+            # mid-attach, or meta that no longer matches the key: never
+            # serve garbage — quarantine the entry for post-mortem (best
+            # effort; an entry locked by a healthy reader is left) and let
+            # the miss flow into the single-flight recompile path.
             if count:
                 self._misses += 1
                 self._bump(misses=1)
-            self._discard(path)
+            self._quarantine(path)
             return None
         self._hits += 1
         self._bump(hits=1)
@@ -347,6 +428,9 @@ class DesignStore:
                 nbytes += (tmp / "block.npy").stat().st_size
             (tmp / _LOCK_NAME).touch()
             (tmp / _USED_NAME).touch()
+            payload_names = [f"{name}.npy" for name in _ARRAY_FIELDS]
+            if with_block:
+                payload_names.append("block.npy")
             meta = {
                 "format_version": STORE_FORMAT_VERSION,
                 "key": json.loads(compiled.key.to_json()),
@@ -358,8 +442,13 @@ class DesignStore:
                 # budget-eligible designs — see CompiledDesign.block_dtype).
                 # Attachers adopt whatever dtype block.npy actually holds.
                 "block_dtype": str(compiled.block_dtype) if with_block else None,
+                # Integrity manifest: every payload file's SHA-256, checked
+                # at attach so bit rot and torn writes read as misses (the
+                # entry is quarantined and recompiled), never as garbage.
+                "sha256": {name: _sha256_file(tmp / name) for name in payload_names},
             }
             (tmp / _META_NAME).write_text(json.dumps(meta, sort_keys=True))
+            _fault_trip("store.publish.pre_rename", path=tmp)
             try:
                 os.rename(tmp, path)
             except OSError:
@@ -382,6 +471,7 @@ class DesignStore:
             raise
         self._publishes += 1
         self._bump(publishes=1)
+        _fault_trip("store.publish", path=path)
         if self.max_bytes is not None:
             self.gc()
         return path
@@ -405,6 +495,12 @@ class DesignStore:
         if stored_key != key:
             read_lock.close()
             raise ValueError(f"store entry {path.name} addresses a different key")
+        if self.verify:
+            try:
+                self._verify_manifest(path, meta)
+            except ValueError:
+                read_lock.close()
+                raise
         try:
             loaded = {name: np.load(path / f"{name}.npy", mmap_mode="r") for name in _ARRAY_FIELDS}
             design = PoolingDesign(key.n, loaded["entries"], loaded["indptr"])
@@ -419,6 +515,28 @@ class DesignStore:
         # The lock must outlive every mapping; the artifact owns it.
         compiled._store_read_lock = read_lock  # type: ignore[attr-defined]
         return compiled
+
+    @staticmethod
+    def _verify_manifest(path: Path, meta: dict) -> None:
+        """Check every payload file against the entry's SHA-256 manifest.
+
+        Raises ``ValueError`` on a missing manifest, a missing file or a
+        digest mismatch — all of which the caller treats as a corrupt
+        entry (quarantine + recompile).
+        """
+        manifest = meta.get("sha256")
+        if not isinstance(manifest, dict) or not manifest:
+            raise ValueError(f"store entry {path.name} has no integrity manifest")
+        for name, expected in manifest.items():
+            target = path / name
+            if not target.is_file():
+                raise ValueError(f"integrity: store entry {path.name} is missing {name}")
+            actual = _sha256_file(target)
+            if actual != expected:
+                raise ValueError(
+                    f"integrity: store entry {path.name} file {name} hash mismatch "
+                    f"(expected {expected[:12]}…, found {actual[:12]}…)"
+                )
 
     def _touch(self, path: Path) -> None:
         """Refresh the entry's recency marker (LRU input for :meth:`gc`)."""
@@ -446,6 +564,42 @@ class DesignStore:
         finally:
             os.close(fd)
 
+    def _quarantine(self, path: Path) -> bool:
+        """Set a corrupt entry aside in ``.quarantine/`` for post-mortem.
+
+        A single ``os.rename`` — atomic, so concurrent readers either see
+        the (corrupt) entry or a miss, never a half-moved directory.  An
+        entry pinned by a live reader's shared lock is left in place (it
+        attached before the corruption landed; its mmap view is intact).
+        Falls back to :meth:`_discard` if the rename itself fails.
+        """
+        lock_path = path / _LOCK_NAME
+        if lock_path.is_file() and _HAS_FLOCK:
+            try:
+                fd = os.open(lock_path, os.O_RDWR)
+            except OSError:
+                pass  # lock vanished: entry is partial, quarantine anyway
+            else:
+                try:
+                    try:
+                        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    except OSError:
+                        return False  # mmap'd by a live reader somewhere
+                finally:
+                    os.close(fd)
+        dest = self._quarantine_dir / f"{path.name}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        try:
+            self._quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.rename(path, dest)
+        except OSError:
+            if not path.exists():
+                return True  # raced: another process already moved/removed it
+            if not self._discard(path):
+                return False
+        self._quarantined += 1
+        self._bump(quarantined=1)
+        return True
+
     # -- maintenance ------------------------------------------------------------
 
     def ls(self) -> "list[StoreEntry]":
@@ -464,14 +618,59 @@ class DesignStore:
                 continue  # partial/corrupt entries are invisible (and gc'able)
         return sorted(out, key=lambda e: e.last_used, reverse=True)
 
-    def gc(self, max_bytes: "int | None" = None) -> "list[StoreEntry]":
+    def reap_residue(self, *, grace_s: float = RESIDUE_GRACE_S) -> int:
+        """Remove crash leftovers older than ``grace_s`` seconds.
+
+        Three shapes of residue accumulate only when a process dies at the
+        wrong moment: ``.tmp-*`` publication dirs (publisher crashed
+        between write and rename), ``.stats-*`` counter temp files (crash
+        between write and ``os.replace``) and ``.quarantine/`` holdings
+        (corrupt entries set aside for post-mortem).  Anything younger
+        than the grace period is left — a slow but live publisher must
+        never lose its tmp dir out from under its own rename.  Returns
+        the number of items removed.
+        """
+        cutoff = time.time() - max(0.0, float(grace_s))
+        reaped = 0
+        try:
+            children = list(self.root.iterdir())
+        except OSError:
+            return 0
+        for child in children:
+            if not (child.name.startswith(".tmp-") or child.name.startswith(".stats-")):
+                continue
+            try:
+                if child.stat().st_mtime > cutoff:
+                    continue
+                if child.is_dir():
+                    shutil.rmtree(child, ignore_errors=True)
+                else:
+                    child.unlink()
+                reaped += 1
+            except OSError:
+                continue  # raced with the owner finishing; leave it
+        if self._quarantine_dir.is_dir():
+            for held in list(self._quarantine_dir.iterdir()):
+                try:
+                    if held.stat().st_mtime > cutoff:
+                        continue
+                    shutil.rmtree(held, ignore_errors=True)
+                    reaped += 1
+                except OSError:
+                    continue
+        return reaped
+
+    def gc(self, max_bytes: "int | None" = None, *, residue_grace_s: float = RESIDUE_GRACE_S) -> "list[StoreEntry]":
         """Evict least-recently-used entries until the store fits the budget.
 
-        Entries whose shared read lock is held (mmap-attached in any
-        process) are skipped, as is the single most recently used entry —
-        a store under byte pressure still serves its hottest design.
-        Returns the evicted entries.
+        Crash residue past ``residue_grace_s`` is reaped first (see
+        :meth:`reap_residue`) — even with no byte budget, so an unbounded
+        store still self-cleans.  Entries whose shared read lock is held
+        (mmap-attached in any process) are skipped, as is the single most
+        recently used entry — a store under byte pressure still serves
+        its hottest design.  Returns the evicted entries.
         """
+        self.reap_residue(grace_s=residue_grace_s)
         budget = self.max_bytes if max_bytes is None else int(max_bytes)
         if budget is None:
             return []
@@ -499,6 +698,42 @@ class DesignStore:
                 self._evictions += 1
                 self._bump(evictions=1)
 
+    def fsck(self) -> FsckReport:
+        """Audit every entry's integrity manifest; quarantine failures.
+
+        Verification reads metadata and streams file hashes — no numpy
+        attach, no mmap, so auditing a large store never perturbs reader
+        page caches.  Entries failing any digest (or predating the
+        manifest format) are quarantined exactly as a corrupt attach
+        would be.  Exposed as ``design store fsck`` on the CLI.
+        """
+        ok: "list[str]" = []
+        bad: "list[str]" = []
+        for entry in self.ls():
+            try:
+                meta = json.loads((entry.path / _META_NAME).read_text())
+                if meta.get("format_version") != STORE_FORMAT_VERSION:
+                    raise ValueError(f"unsupported format {meta.get('format_version')!r}")
+                self._verify_manifest(entry.path, meta)
+            except (OSError, ValueError):
+                if self._quarantine(entry.path):
+                    bad.append(entry.digest)
+                continue
+            ok.append(entry.digest)
+        residue = sum(
+            1
+            for child in self.root.iterdir()
+            if child.name.startswith(".tmp-") or child.name.startswith(".stats-")
+        )
+        held = len(list(self._quarantine_dir.iterdir())) if self._quarantine_dir.is_dir() else 0
+        return FsckReport(
+            checked=len(ok) + len(bad),
+            ok=tuple(ok),
+            quarantined=tuple(bad),
+            residue=residue,
+            quarantine_held=held,
+        )
+
     # -- telemetry --------------------------------------------------------------
 
     @property
@@ -520,15 +755,17 @@ class DesignStore:
             publishes=self._publishes,
             entries=len(entries),
             nbytes=sum(e.nbytes for e in entries),
+            quarantined=self._quarantined,
         )
 
     def persistent_stats(self) -> "dict[str, int]":
         """Cumulative counters across every process that used this root."""
+        keys = ("hits", "misses", "evictions", "publishes", "quarantined")
         try:
             raw = json.loads((self.root / "stats.json").read_text())
-            return {k: int(raw.get(k, 0)) for k in ("hits", "misses", "evictions", "publishes")}
+            return {k: int(raw.get(k, 0)) for k in keys}
         except (OSError, ValueError, TypeError):
-            return {"hits": 0, "misses": 0, "evictions": 0, "publishes": 0}
+            return {k: 0 for k in keys}
 
     def _bump(self, **deltas: int) -> None:
         """Fold counter deltas into the shared ``stats.json`` atomically.

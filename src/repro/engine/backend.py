@@ -42,7 +42,7 @@ from repro.kernels.threads import (
     worker_core_slices,
     worker_thread_budget,
 )
-from repro.parallel.pool import WorkerPool, resolve_workers
+from repro.parallel.pool import RetryableTaskError, WorkerPool, resolve_workers
 from repro.util.validation import check_positive_int
 
 __all__ = [
@@ -158,8 +158,13 @@ class SerialBackend:
     def map(self, fn: Callable[[Any, dict], Any], payloads: Sequence[Any]) -> "list[Any]":
         if self._closed:
             raise RuntimeError("backend already shut down")
-        with blas_thread_limit(self._blas_threads):
-            return [fn(p, self._cache) for p in payloads]
+        try:
+            with blas_thread_limit(self._blas_threads):
+                return [fn(p, self._cache) for p in payloads]
+        except (MemoryError, BrokenPipeError) as exc:
+            # Same structured, retryable shape the worker path reports —
+            # transient resource pressure is not a caller logic error.
+            raise RetryableTaskError(f"inline task failed with transient {type(exc).__name__}: {exc}") from exc
 
     def shutdown(self) -> None:
         self._closed = True
@@ -210,6 +215,14 @@ class SharedMemBackend:
     The owned pool is created lazily on first :meth:`map`, so constructing
     a backend is free and a backend that only ever configures ``blocks``
     never forks.
+
+    Failure semantics (see ``docs/robustness.md``): a worker that dies
+    mid-task is healed by the pool itself — respawned and its task
+    re-dispatched within a bounded retry budget — so :meth:`map` only
+    raises once recovery is exhausted, and then with the structured
+    :class:`~repro.parallel.pool.WorkerCrashError` /
+    :class:`~repro.parallel.pool.RetryableTaskError` types rather than a
+    raw multiprocessing traceback.
     """
 
     def __init__(

@@ -1,0 +1,352 @@
+"""Deterministic fault injection: the :class:`FaultPlan` and its trip sites.
+
+Every recovery path in the substrate — worker-crash healing in the pool,
+store quarantine + recompilation, the serve layer's retry and circuit
+breaker — exists because some component *will* eventually fail.  Reasoning
+about those paths is not enough; they must be reproducibly executable in
+CI.  A :class:`FaultPlan` is a seeded, counted schedule of injected
+failures: each rule names a **site** (a code location that calls
+:func:`trip`), an **action** (what goes wrong there) and **when** it goes
+wrong (the ``at``-th arrival, optionally repeating).  Identical plans
+produce identical fault sequences, so a chaos test asserts bit-identity
+of the *recovered* result against a fault-free run — the stack's core
+invariant extended to the failure domain.
+
+Spec DSL (the ``REPRO_FAULT_PLAN`` environment value)::
+
+    <site>:<action>[@<at>][x<times>][=<arg>] [; <rule> ...]
+
+========== ===================================================================
+action     effect at the trip site
+========== ===================================================================
+kill       ``SIGKILL`` the current process (worker-crash simulation)
+crash      ``os._exit(70)`` — die without cleanup (publisher-crash simulation)
+exception  raise :class:`InjectedFault` (transient decode/compile failure)
+delay      sleep ``arg`` seconds (default 0.01), then continue
+bitflip    flip one seeded byte of the file/entry named by ``path``/``arg``
+truncate   cut the file named by ``path``/``arg`` to half its length
+========== ===================================================================
+
+``at`` (default 1) is the 1-based arrival index at which the rule starts
+firing; ``times`` (default 1, ``*`` = forever) is how many consecutive
+arrivals fire.  Examples::
+
+    worker.task:kill@2              # SIGKILL each worker at its 2nd task
+    serve.decode:exception@1x2      # first two decode dispatches raise
+    store.publish.pre_rename:crash  # die between tmp-write and rename
+    store.publish:bitflip=dstar.npy # corrupt a freshly published array
+    worker.task:delay@1x*=0.05      # 50ms of artificial latency per task
+
+Counting is **per process**: a forked worker inherits the parent's counts
+at fork time and advances its own copy, so "kill at the Nth task" means
+the Nth task *of that worker* — exactly the semantics a worker-crash test
+wants.  Plans travel to subprocesses through the environment
+(:meth:`FaultPlan.to_spec`).
+
+The ambient plan is resolved once per process from ``REPRO_FAULT_PLAN``
+(or installed programmatically via :func:`set_ambient_plan`); with no
+plan configured, :func:`trip` is a no-op costing one global read — the
+production hot paths pay nothing.
+
+Examples
+--------
+>>> plan = FaultPlan.parse("serve.decode:exception@2")
+>>> plan.trip("serve.decode")        # arrival 1: no fault
+>>> try:
+...     plan.trip("serve.decode")    # arrival 2: fires
+... except InjectedFault as exc:
+...     print(exc.site)
+serve.decode
+>>> plan.trip("serve.decode")        # arrival 3: rule exhausted
+>>> plan.fired("serve.decode")
+1
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+__all__ = [
+    "FAULT_PLAN_ENV",
+    "ACTIONS",
+    "FaultRule",
+    "FaultPlan",
+    "InjectedFault",
+    "ambient_plan",
+    "set_ambient_plan",
+    "reset_ambient_plan",
+    "trip",
+    "bitflip_file",
+    "truncate_file",
+]
+
+#: Environment variable carrying the ambient fault plan spec.  Unset (or
+#: blank) means no plan — every trip site is a no-op.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: The closed set of injectable actions.
+ACTIONS = ("kill", "crash", "exception", "delay", "bitflip", "truncate")
+
+_RULE_RE = re.compile(
+    r"^(?P<site>[A-Za-z_][\w.]*):(?P<action>[a-z]+)"
+    r"(?:@(?P<at>\d+))?(?:x(?P<times>\d+|\*))?(?:=(?P<arg>.*))?$"
+)
+
+
+class InjectedFault(RuntimeError):
+    """The exception an ``exception`` rule raises at its trip site.
+
+    Deliberately a plain ``RuntimeError`` subclass: production recovery
+    code must treat it like any other unexpected failure — nothing may
+    special-case injected faults, or the chaos suite would be testing a
+    path real faults never take.
+    """
+
+    def __init__(self, site: str, message: str = ""):
+        super().__init__(message or f"injected fault at site {site!r}")
+        self.site = site
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scheduled failure: fire ``action`` at ``site`` on arrivals
+    ``at .. at + times - 1`` (``times = -1`` means forever)."""
+
+    site: str
+    action: str
+    at: int = 1
+    times: int = 1
+    arg: "str | None" = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r} (choose from {', '.join(ACTIONS)})")
+        if self.at < 1:
+            raise ValueError("at must be >= 1 (arrival indices are 1-based)")
+        if self.times < -1 or self.times == 0:
+            raise ValueError("times must be >= 1 (or -1 / '*' for forever)")
+
+    def covers(self, arrival: int) -> bool:
+        """Does this rule fire on the ``arrival``-th visit to its site?"""
+        if arrival < self.at:
+            return False
+        return self.times == -1 or arrival < self.at + self.times
+
+    def to_spec(self) -> str:
+        spec = f"{self.site}:{self.action}"
+        if self.at != 1:
+            spec += f"@{self.at}"
+        if self.times != 1:
+            spec += "x*" if self.times == -1 else f"x{self.times}"
+        if self.arg is not None:
+            spec += f"={self.arg}"
+        return spec
+
+
+class FaultPlan:
+    """A seeded, counted schedule of injected failures.
+
+    Parameters
+    ----------
+    rules:
+        The :class:`FaultRule` schedule.  Multiple rules may share a site;
+        all that cover an arrival fire (``delay`` first, terminal actions
+        last, so ``delay`` composes with the others).
+    seed:
+        Seeds the corruption actions (which byte flips, deterministically
+        per ``(seed, site, arrival)``) — never the *schedule*, which is
+        purely count-based.
+    """
+
+    def __init__(self, rules: Iterable[FaultRule] = (), seed: int = 0):
+        self.rules = tuple(rules)
+        self.seed = int(seed)
+        self._arrivals: "dict[str, int]" = {}
+        self._fired: "dict[str, int]" = {}
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse the DSL (see module docstring) into a plan.
+
+        Raises ``ValueError`` on malformed rules — a typo'd plan must fail
+        the run loudly, not silently inject nothing.
+        """
+        rules = []
+        for chunk in spec.split(";"):
+            chunk = chunk.strip()
+            if not chunk:
+                continue
+            match = _RULE_RE.match(chunk)
+            if match is None:
+                raise ValueError(f"malformed fault rule {chunk!r} (expected site:action[@at][xtimes][=arg])")
+            times_raw = match.group("times")
+            rules.append(
+                FaultRule(
+                    site=match.group("site"),
+                    action=match.group("action"),
+                    at=int(match.group("at") or 1),
+                    times=-1 if times_raw == "*" else int(times_raw or 1),
+                    arg=match.group("arg"),
+                )
+            )
+        return cls(rules, seed=seed)
+
+    def to_spec(self) -> str:
+        """The plan as a DSL string — ready for a subprocess's environment."""
+        return ";".join(rule.to_spec() for rule in self.rules)
+
+    # -- telemetry --------------------------------------------------------------
+
+    def arrivals(self, site: str) -> int:
+        """How many times ``site`` has been visited in this process."""
+        return self._arrivals.get(site, 0)
+
+    def fired(self, site: "str | None" = None) -> int:
+        """How many faults fired (at ``site``, or in total)."""
+        if site is not None:
+            return self._fired.get(site, 0)
+        return sum(self._fired.values())
+
+    # -- the injection hook -----------------------------------------------------
+
+    def trip(self, site: str, *, path: "str | Path | None" = None) -> None:
+        """Record one arrival at ``site`` and execute any covering rules.
+
+        ``path`` gives the corruption actions their target (a file, or an
+        entry directory whose member the rule's ``arg`` names).  Raises
+        :class:`InjectedFault` for ``exception`` rules; ``kill``/``crash``
+        do not return at all.
+        """
+        arrival = self._arrivals.get(site, 0) + 1
+        self._arrivals[site] = arrival
+        covering = [rule for rule in self.rules if rule.site == site and rule.covers(arrival)]
+        if not covering:
+            return
+        # delay composes with a terminal action on the same arrival.
+        covering.sort(key=lambda r: r.action != "delay")
+        for rule in covering:
+            self._fired[site] = self._fired.get(site, 0) + 1
+            self._execute(rule, site, arrival, path)
+
+    def _execute(self, rule: FaultRule, site: str, arrival: int, path: "str | Path | None") -> None:
+        if rule.action == "delay":
+            time.sleep(float(rule.arg) if rule.arg else 0.01)
+            return
+        if rule.action == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+            return  # pragma: no cover - unreachable
+        if rule.action == "crash":
+            # Die with no cleanup whatsoever — finally blocks, atexit and
+            # except handlers all skipped, exactly like a power loss.
+            os._exit(70)
+            return  # pragma: no cover - unreachable
+        if rule.action == "exception":
+            raise InjectedFault(site, rule.arg or "")
+        # Corruption actions need a target file.
+        target = self._corruption_target(rule, path)
+        if target is None:
+            return  # site offered no target; corruption rule is inert here
+        if rule.action == "bitflip":
+            bitflip_file(target, seed=(self.seed, site, arrival))
+        elif rule.action == "truncate":
+            truncate_file(target)
+
+    def _corruption_target(self, rule: FaultRule, path: "str | Path | None") -> "Path | None":
+        if path is None:
+            return None
+        target = Path(path)
+        if target.is_dir():
+            if rule.arg:
+                target = target / rule.arg
+            else:
+                candidates = sorted(p for p in target.iterdir() if p.suffix == ".npy")
+                if not candidates:
+                    return None
+                target = candidates[0]
+        return target if target.is_file() else None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultPlan({self.to_spec()!r}, seed={self.seed}, fired={self.fired()})"
+
+
+# -- corruption helpers (also the chaos tests' direct tools) --------------------
+
+
+def bitflip_file(path: "str | Path", *, seed: object = 0) -> int:
+    """Flip one byte of ``path`` in place; returns the flipped offset.
+
+    The offset is derived deterministically from ``seed`` and lands past
+    any small header region when the file allows, so an ``.npy`` flip
+    corrupts *array bytes* (the integrity manifest's job to catch), not
+    just the parseable header.
+    """
+    import zlib
+
+    data = bytearray(Path(path).read_bytes())
+    if not data:
+        raise ValueError(f"cannot bit-flip empty file {path}")
+    lo = min(128, len(data) - 1)  # skip the npy header when the file is big enough
+    offset = lo + zlib.crc32(repr(seed).encode()) % max(1, len(data) - lo)
+    offset = min(offset, len(data) - 1)
+    data[offset] ^= 0xFF
+    Path(path).write_bytes(bytes(data))
+    return offset
+
+
+def truncate_file(path: "str | Path") -> int:
+    """Cut ``path`` to half its size (a torn write); returns the new size."""
+    size = Path(path).stat().st_size
+    new_size = size // 2
+    os.truncate(path, new_size)
+    return new_size
+
+
+# -- the ambient plan -----------------------------------------------------------
+
+_UNSET = object()
+_ambient: "FaultPlan | None | object" = _UNSET
+
+
+def ambient_plan() -> "FaultPlan | None":
+    """The process-wide plan: programmatic install wins, else the environment.
+
+    Resolved once and cached — forked children inherit the parent's plan
+    *object* (and its counts) at fork time, which is what gives per-worker
+    arrival counting its meaning.
+    """
+    global _ambient
+    if _ambient is _UNSET:
+        spec = os.environ.get(FAULT_PLAN_ENV, "").strip()
+        _ambient = FaultPlan.parse(spec) if spec else None
+    return _ambient  # type: ignore[return-value]
+
+
+def set_ambient_plan(plan: "FaultPlan | None") -> None:
+    """Install ``plan`` as the process-wide ambient plan (tests, harnesses)."""
+    global _ambient
+    _ambient = plan
+
+
+def reset_ambient_plan() -> None:
+    """Forget the cached ambient plan; the next :func:`trip` re-reads the env."""
+    global _ambient
+    _ambient = _UNSET
+
+
+def trip(site: str, *, path: "str | Path | None" = None) -> None:
+    """The hook production code plants at a fault site.
+
+    With no ambient plan this is a no-op (one global read, one ``None``
+    check) — the cost a hot path pays for being chaos-testable.
+    """
+    plan = ambient_plan()
+    if plan is not None:
+        plan.trip(site, path=path)

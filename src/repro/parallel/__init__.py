@@ -25,7 +25,7 @@ results are bit-identical by construction.
 
 from repro.parallel.partition import split_range, split_evenly
 from repro.parallel.sharedmem import SharedArray
-from repro.parallel.pool import WorkerPool, PoolError
+from repro.parallel.pool import WorkerPool, PoolError, WorkerCrashError, RetryableTaskError
 from repro.parallel.primitives import parallel_map, parallel_reduce, parallel_elementwise_sum
 from repro.parallel.sort import parallel_sample_sort, parallel_argsort, parallel_top_k
 from repro.parallel.matvec import CSRMatrix, parallel_csr_matvec
@@ -36,6 +36,8 @@ __all__ = [
     "SharedArray",
     "WorkerPool",
     "PoolError",
+    "WorkerCrashError",
+    "RetryableTaskError",
     "parallel_map",
     "parallel_reduce",
     "parallel_elementwise_sum",

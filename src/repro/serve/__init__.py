@@ -13,10 +13,14 @@ dependency-light newline-delimited-JSON protocol (stdin/stdout or TCP):
   :meth:`~repro.designs.protocol.CompiledDecoder.decode_batch`, the
   bounded admission queue, and the per-design decoder LRU over the
   cache/store layers;
+* :mod:`repro.serve.breaker` — the per-design-key circuit breaker
+  (closed → open → half-open) behind the structured ``unavailable``
+  degradation path;
 * :mod:`repro.serve.server` — the asyncio front-end: both transports,
   per-request deadlines, graceful drain on SIGTERM;
 * :mod:`repro.serve.client` — the bundled pipelined client (tests, CI
-  smoke, the load benchmark, and a reference for other languages).
+  smoke, the load benchmark, and a reference for other languages), with
+  opt-in reconnect + replay of unanswered requests.
 
 The whole layer types against the unified
 :class:`~repro.designs.protocol.Decoder` protocol — plugging a ported
@@ -25,6 +29,7 @@ Every served decode is bit-identical to the offline one-shot paths on the
 same ``(design_key, y, k)``; coalescing only changes when work runs.
 """
 
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.client import ServeClient
 from repro.serve.coalescer import Coalescer, CoalescerStats, DecoderPool
 from repro.serve.protocol import (
@@ -46,6 +51,7 @@ __all__ = [
     "parse_response",
     "encode_success",
     "encode_error",
+    "CircuitBreaker",
     "Coalescer",
     "CoalescerStats",
     "DecoderPool",

@@ -8,6 +8,14 @@ requests; a background reader task demultiplexes responses to the
 awaiting callers, so ``N`` coroutines sharing one client see exactly the
 coalescing behavior ``N`` separate processes would.
 
+With ``reconnect=True`` the client also survives a dropped connection:
+the reader re-dials with capped exponential backoff (base 50 ms, cap
+2 s) and **replays every unanswered request line** on the new
+connection.  Replay is safe by construction — decodes are pure functions
+of ``(design_key, y, k)`` and responses correlate by ``request_id``, so
+a request answered twice resolves once and the duplicate is dropped.
+Callers block through the outage instead of seeing ``ConnectionError``.
+
 Examples (against a server on ``host:port``)::
 
     client = await ServeClient.connect(host, port)
@@ -35,20 +43,61 @@ __all__ = ["ServeClient"]
 class ServeClient:
     """A pipelined client for the serve wire protocol."""
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        address: "tuple[str, int] | None" = None,
+        reconnect: bool = False,
+        max_reconnect_attempts: int = 8,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+    ):
         self._reader = reader
         self._writer = writer
         self._pending: "dict[str | int, asyncio.Future]" = {}
+        #: unanswered request lines by id — the replay set after a reconnect
+        self._sent: "dict[str | int, str]" = {}
+        self._address = address
+        self._reconnect_enabled = bool(reconnect) and address is not None
+        self._max_reconnect_attempts = int(max_reconnect_attempts)
+        self._backoff_base_s = float(backoff_base_s)
+        self._backoff_cap_s = float(backoff_cap_s)
+        self.reconnects = 0  #: successful re-dials over this client's lifetime
         self._ids = itertools.count()
         self._write_lock = asyncio.Lock()
         self._closed = False
         self._reader_task = asyncio.ensure_future(self._read_loop())
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "ServeClient":
-        """Open a TCP connection to a running serve process."""
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        reconnect: bool = False,
+        max_reconnect_attempts: int = 8,
+        backoff_base_s: float = 0.05,
+        backoff_cap_s: float = 2.0,
+    ) -> "ServeClient":
+        """Open a TCP connection to a running serve process.
+
+        ``reconnect=True`` makes the client self-healing: a dropped
+        connection is re-dialed with capped exponential backoff and every
+        unanswered request is replayed on the new connection (safe —
+        decodes are idempotent and responses correlate by request id).
+        """
         reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE_BYTES + 1024)
-        return cls(reader, writer)
+        return cls(
+            reader,
+            writer,
+            address=(host, port),
+            reconnect=reconnect,
+            max_reconnect_attempts=max_reconnect_attempts,
+            backoff_base_s=backoff_base_s,
+            backoff_cap_s=backoff_cap_s,
+        )
 
     # -- the request surface ----------------------------------------------------
 
@@ -83,7 +132,19 @@ class ServeClient:
             request_id = f"c{next(self._ids)}"
         payload = {"request_id": request_id, **payload}
         future = self._register(request_id)
-        await self._send_line(json.dumps(payload, separators=(",", ":")))
+        line = json.dumps(payload, separators=(",", ":"))
+        if self._reconnect_enabled:
+            self._sent[request_id] = line
+        try:
+            await self._send_line(line)
+        except OSError:
+            # The write raced a connection drop; with reconnect enabled the
+            # reader re-dials and replays this line, so the caller just
+            # keeps awaiting.  Without it, fail fast like before.
+            if not self._reconnect_enabled or self._closed:
+                self._pending.pop(request_id, None)
+                self._sent.pop(request_id, None)
+                raise
         return await future
 
     async def send_raw(self, line: str) -> None:
@@ -118,9 +179,14 @@ class ServeClient:
     async def _read_loop(self) -> None:
         try:
             while True:
-                line = await self._reader.readline()
+                try:
+                    line = await self._reader.readline()
+                except ConnectionError:
+                    line = b""  # a reset mid-read is the same as EOF here
                 if not line:
-                    break
+                    if self._closed or not await self._reconnect():
+                        break
+                    continue
                 line = line.strip()
                 if not line:
                     continue
@@ -128,12 +194,13 @@ class ServeClient:
                     response = parse_response(line)
                 except ValueError:
                     continue  # tolerate junk on the stream; requests will time out
+                self._sent.pop(response["request_id"], None)
                 future = self._pending.pop(response["request_id"], None)
                 if future is None:
                     future = self._pending.pop(_UNMATCHED, None)
                 if future is not None and not future.done():
                     future.set_result(response)
-        except (ConnectionError, asyncio.CancelledError):
+        except asyncio.CancelledError:
             pass
         finally:
             error = ConnectionError("server closed the connection")
@@ -141,6 +208,48 @@ class ServeClient:
                 if not future.done():
                     future.set_exception(error)
             self._pending.clear()
+            self._sent.clear()
+
+    async def _reconnect(self) -> bool:
+        """Re-dial after a drop and replay unanswered requests.
+
+        Capped exponential backoff between attempts; gives up (failing
+        every pending future) after ``max_reconnect_attempts``.  Returns
+        whether a new connection is live.
+        """
+        if not self._reconnect_enabled:
+            return False
+        host, port = self._address  # type: ignore[misc]  # enabled implies address
+        delay = self._backoff_base_s
+        for _attempt in range(self._max_reconnect_attempts):
+            await asyncio.sleep(delay)
+            delay = min(delay * 2.0, self._backoff_cap_s)
+            if self._closed:
+                return False
+            try:
+                reader, writer = await asyncio.open_connection(host, port, limit=MAX_LINE_BYTES + 1024)
+            except OSError:
+                continue
+            old = self._writer
+            self._reader, self._writer = reader, writer
+            try:
+                old.close()
+            except (OSError, RuntimeError):  # pragma: no cover - transport already gone
+                pass
+            self.reconnects += 1
+            # Replay every unanswered line on the fresh connection.  A
+            # request the old server answered into the void is simply
+            # decoded again — bit-identical by the protocol contract.
+            for request_id, line in list(self._sent.items()):
+                if request_id not in self._pending:
+                    self._sent.pop(request_id, None)
+                    continue
+                try:
+                    await self._send_line(line)
+                except OSError:
+                    break  # this connection died too; the read loop re-dials
+            return True
+        return False
 
     async def close(self) -> None:
         """Close the connection; in-flight requests fail with ConnectionError."""

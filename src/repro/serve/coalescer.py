@@ -30,7 +30,17 @@ Robustness is structural, not best-effort:
   least-recently-served designs;
 * **isolation** — a failing compile or decode fails exactly the requests
   in that batch, each with a structured error; the loop, the pool and
-  other keys' batches are untouched.
+  other keys' batches are untouched;
+* **retry on a fresh decoder** — a failed ``decode_batch`` evicts the
+  key's decoder and retries once on a freshly attached one (a corrupt
+  store entry quarantines and recompiles underneath), so a transient
+  artifact fault heals invisibly;
+* **per-key circuit breaker** — ``breaker_threshold`` consecutive batch
+  failures open a :class:`~repro.serve.breaker.CircuitBreaker` for that
+  key: requests fast-fail with a structured ``unavailable`` error (no
+  executor work, no queue residency) until a cooldown admits a half-open
+  probe; one good batch closes the breaker.  One persistently bad design
+  degrades; every other key serves normally.
 
 CPU-heavy work (compilation, the batched GEMM + top-k) runs on a
 single-thread executor so the event loop keeps accepting, parsing and
@@ -47,6 +57,8 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.faults import trip as _fault_trip
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.protocol import DecodeRequest, ProtocolError
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
@@ -70,6 +82,9 @@ class CoalescerStats:
     requests: int = 0  #: requests served through those batches
     overloaded: int = 0  #: submissions refused by the admission bound
     max_batch_seen: int = 0  #: largest micro-batch dispatched
+    retries: int = 0  #: batches decoded successfully on a fresh-decoder retry
+    unavailable: int = 0  #: submissions fast-failed by an open circuit breaker
+    breaker_opens: int = 0  #: closed/half-open → open breaker transitions
 
     @property
     def mean_batch(self) -> float:
@@ -155,6 +170,23 @@ class DecoderPool:
         """Executor-side compile — the only place the Decoder protocol is used."""
         return self._decoder.compile(key, cache=self._cache, store=self._store)
 
+    def evict(self, key: "DesignKey") -> bool:
+        """Drop (and close) ``key``'s attached decoder, if any.
+
+        The retry path calls this after a failed ``decode_batch`` so the
+        next :meth:`get` attaches a *fresh* decoder — recompiling through
+        the cache/store layers, where a corrupt L2 entry quarantines and
+        heals.  Returns whether an entry was evicted.
+        """
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self.evictions += 1
+        close = getattr(entry, "close", None)
+        if callable(close):
+            close()
+        return True
+
     def close(self) -> None:
         """Close every attached decoder (drain-time cleanup)."""
         while self._entries:
@@ -181,6 +213,9 @@ class Coalescer:
         max_batch: int = 64,
         max_queue: int = 1024,
         executor: "Executor | None" = None,
+        decode_retries: int = 1,
+        breaker_threshold: int = 5,
+        breaker_cooldown_s: float = 5.0,
     ):
         if window_s < 0:
             raise ValueError("window_s must be non-negative")
@@ -188,24 +223,38 @@ class Coalescer:
             raise ValueError("max_batch must be positive")
         if max_queue < 1:
             raise ValueError("max_queue must be positive")
+        if decode_retries < 0:
+            raise ValueError("decode_retries must be non-negative")
         self._pool = pool
         self.window_s = float(window_s)
         self.max_batch = int(max_batch)
         self.max_queue = int(max_queue)
+        self.decode_retries = int(decode_retries)
+        self.breaker_threshold = int(breaker_threshold)
+        self.breaker_cooldown_s = float(breaker_cooldown_s)
         self._executor = executor
         self._buckets: "dict[DesignKey, list[_Pending]]" = {}
         self._timers: "dict[DesignKey, asyncio.TimerHandle]" = {}
+        self._breakers: "dict[DesignKey, CircuitBreaker]" = {}
         self._tasks: "set[asyncio.Task]" = set()
         self._draining = False
         self.stats = CoalescerStats()
+
+    def breaker(self, key: "DesignKey") -> CircuitBreaker:
+        """The (lazily created) circuit breaker guarding ``key``."""
+        b = self._breakers.get(key)
+        if b is None:
+            b = self._breakers[key] = CircuitBreaker(self.breaker_threshold, self.breaker_cooldown_s)
+        return b
 
     def submit(self, request: DecodeRequest) -> "asyncio.Future[np.ndarray]":
         """Admit one request; the future resolves to its support indices.
 
         Raises :class:`~repro.serve.protocol.ProtocolError` with code
         ``overloaded`` when the admission queue is full (explicit
-        backpressure — the request was **not** buffered) and
-        ``shutting_down`` once a drain began.
+        backpressure — the request was **not** buffered), ``unavailable``
+        when the key's circuit breaker is open (fast structured failure,
+        no executor work) and ``shutting_down`` once a drain began.
         """
         if self._draining:
             raise ProtocolError("shutting_down", "server is draining; no new requests admitted", request.request_id)
@@ -214,6 +263,14 @@ class Coalescer:
             raise ProtocolError(
                 "overloaded",
                 f"admission queue full ({self.max_queue} requests pending); retry later",
+                request.request_id,
+            )
+        breaker = self._breakers.get(request.key)
+        if breaker is not None and not breaker.allow():
+            self.stats.unavailable += 1
+            raise ProtocolError(
+                "unavailable",
+                f"design key is failing (circuit breaker {breaker.state}); retry after cooldown",
                 request.request_id,
             )
         loop = asyncio.get_running_loop()
@@ -244,16 +301,15 @@ class Coalescer:
         task.add_done_callback(self._tasks.discard)
 
     async def _run_batch(self, key: "DesignKey", pending: "list[_Pending]") -> None:
-        """Decode one micro-batch and demultiplex rows to the awaiting futures."""
+        """Decode one micro-batch and demultiplex rows to the awaiting futures.
+
+        A failed ``decode_batch`` evicts the key's decoder and retries on
+        a freshly attached one (up to ``decode_retries`` times) — the
+        store-level quarantine + recompile heals a corrupt artifact
+        underneath.  The batch outcome (after retries) feeds the key's
+        circuit breaker.
+        """
         try:
-            try:
-                decoder = await self._pool.get(key)
-            except ProtocolError as exc:
-                self._fail(pending, exc)
-                return
-            except Exception as exc:  # noqa: BLE001 - isolate arbitrary compile failures
-                self._fail(pending, ProtocolError("internal", f"compilation failed: {exc}"))
-                return
             Y = np.stack([p.request.y for p in pending])
             ks = [p.request.k for p in pending]
             # Uniform weights keep the scalar-k selection path; mixed
@@ -262,11 +318,39 @@ class Coalescer:
             # contract), so grouping by key alone is safe.
             k_arg: "int | np.ndarray" = ks[0] if len(set(ks)) == 1 else np.asarray(ks, dtype=np.int64)
             loop = asyncio.get_running_loop()
-            try:
-                supports = await loop.run_in_executor(self._executor, _decode_supports, decoder, Y, k_arg)
-            except Exception as exc:  # noqa: BLE001 - isolate arbitrary decode failures
-                self._fail(pending, ProtocolError("internal", f"decode failed: {exc}"))
-                return
+            supports: "list[np.ndarray] | None" = None
+            for attempt in range(self.decode_retries + 1):
+                try:
+                    decoder = await self._pool.get(key)
+                except ProtocolError as exc:
+                    # A structured bad_key is the client's mistake, not
+                    # service ill-health — it never trips the breaker.
+                    self._fail(pending, exc)
+                    return
+                except Exception as exc:  # noqa: BLE001 - isolate arbitrary compile failures
+                    self.breaker(key).record_failure()
+                    self.stats.breaker_opens = sum(b.opens for b in self._breakers.values())
+                    self._fail(pending, ProtocolError("internal", f"compilation failed: {exc}"))
+                    return
+                try:
+                    supports = await loop.run_in_executor(self._executor, _decode_supports, decoder, Y, k_arg)
+                    if attempt:
+                        self.stats.retries += 1
+                    break
+                except Exception as exc:  # noqa: BLE001 - isolate arbitrary decode failures
+                    # A decoder that just failed is suspect: drop it so the
+                    # retry (or the next batch) attaches fresh through the
+                    # cache/store self-repair path.
+                    self._pool.evict(key)
+                    if attempt >= self.decode_retries:
+                        self.breaker(key).record_failure()
+                        self.stats.breaker_opens = sum(b.opens for b in self._breakers.values())
+                        self._fail(pending, ProtocolError("internal", f"decode failed: {exc}"))
+                        return
+            assert supports is not None
+            breaker = self._breakers.get(key)
+            if breaker is not None:
+                breaker.record_success()
             for p, support in zip(pending, supports):
                 if not p.future.done():  # timed-out/cancelled requests are skipped
                     p.future.set_result(support)
@@ -298,5 +382,6 @@ class Coalescer:
 
 def _decode_supports(decoder: "CompiledDecoder", Y: np.ndarray, k: "int | np.ndarray") -> "list[np.ndarray]":
     """Executor-side batch decode → per-row sorted support indices."""
+    _fault_trip("serve.decode")
     rows = decoder.decode_batch(Y, k)
     return [np.flatnonzero(row) for row in rows]

@@ -28,9 +28,11 @@ Error codes are a closed set (:data:`ERROR_CODES`): ``bad_request``
 (non-JSON line, wrong top-level type, missing/ill-typed fields),
 ``bad_key`` (unparseable or unservable design key), ``bad_y`` (wrong
 length or non-integer results), ``bad_k`` (non-positive or out of range),
-``overloaded`` (admission queue full — resubmit later), ``timeout``
-(deadline elapsed before the decode ran), ``shutting_down`` (server
-draining), ``internal`` (unexpected decode failure).
+``overloaded`` (admission queue full — resubmit later), ``unavailable``
+(the key's circuit breaker is open after repeated decode failures —
+resubmit after the cooldown), ``timeout`` (deadline elapsed before the
+decode ran), ``shutting_down`` (server draining), ``internal``
+(unexpected decode failure).
 
 Parsing never raises anything but :class:`ProtocolError`, which carries
 the structured ``(code, message, request_id)`` triple the server turns
@@ -64,6 +66,7 @@ ERROR_CODES = (
     "bad_y",
     "bad_k",
     "overloaded",
+    "unavailable",
     "timeout",
     "shutting_down",
     "internal",

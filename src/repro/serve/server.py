@@ -58,6 +58,8 @@ __all__ = ["ServeConfig", "DecodeServer", "serve_forever"]
 SERVE_WINDOW_ENV = "REPRO_SERVE_WINDOW_MS"
 SERVE_MAX_BATCH_ENV = "REPRO_SERVE_MAX_BATCH"
 SERVE_MAX_QUEUE_ENV = "REPRO_SERVE_MAX_QUEUE"
+SERVE_BREAKER_THRESHOLD_ENV = "REPRO_SERVE_BREAKER_THRESHOLD"
+SERVE_BREAKER_COOLDOWN_ENV = "REPRO_SERVE_BREAKER_COOLDOWN_MS"
 
 
 @dataclass(frozen=True)
@@ -67,6 +69,12 @@ class ServeConfig:
     ``batch_window_ms`` trades tail latency for throughput: each key's
     first pending request waits at most this long for company before its
     micro-batch flushes (a full ``max_batch`` flushes immediately).
+
+    ``decode_retries`` failed ``decode_batch`` calls per micro-batch are
+    retried on a freshly attached decoder before the batch fails;
+    ``breaker_threshold`` consecutive batch failures for one key open its
+    circuit breaker for ``breaker_cooldown_ms`` (requests fast-fail with
+    ``unavailable`` until a half-open probe succeeds).
     """
 
     batch_window_ms: float = 2.0
@@ -75,6 +83,9 @@ class ServeConfig:
     timeout_ms: float = 10_000.0
     max_designs: int = 8
     drain_timeout_s: float = 30.0
+    decode_retries: int = 1
+    breaker_threshold: int = 5
+    breaker_cooldown_ms: float = 5000.0
 
     def __post_init__(self) -> None:
         if self.batch_window_ms < 0:
@@ -83,6 +94,12 @@ class ServeConfig:
             raise ValueError("max_batch, max_queue and max_designs must be positive")
         if self.timeout_ms <= 0:
             raise ValueError("timeout_ms must be positive")
+        if self.decode_retries < 0:
+            raise ValueError("decode_retries must be non-negative")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be positive")
+        if self.breaker_cooldown_ms < 0:
+            raise ValueError("breaker_cooldown_ms must be non-negative")
 
     @property
     def window_s(self) -> float:
@@ -91,6 +108,10 @@ class ServeConfig:
     @property
     def timeout_s(self) -> float:
         return self.timeout_ms / 1e3
+
+    @property
+    def breaker_cooldown_s(self) -> float:
+        return self.breaker_cooldown_ms / 1e3
 
 
 class DecodeServer:
@@ -136,6 +157,9 @@ class DecodeServer:
             max_batch=self.config.max_batch,
             max_queue=self.config.max_queue,
             executor=self._executor,
+            decode_retries=self.config.decode_retries,
+            breaker_threshold=self.config.breaker_threshold,
+            breaker_cooldown_s=self.config.breaker_cooldown_s,
         )
         self._request_tasks: "set[asyncio.Task]" = set()
         self._conn_tasks: "set[asyncio.Task]" = set()

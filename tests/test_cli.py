@@ -187,9 +187,14 @@ class TestDesignStoreCLI:
         assert main(["design", "store", "ls"]) == 2
         assert "REPRO_DESIGN_STORE" in capsys.readouterr().err
 
-    def test_gc_without_budget_errors_cleanly(self, tmp_path, ambient_store, capsys):
-        assert main(["design", "store", "gc"]) == 2
-        assert "max-bytes" in capsys.readouterr().err
+    def test_gc_without_budget_reaps_residue_only(self, tmp_path, ambient_store, capsys):
+        # No byte budget: nothing is evicted, but crash residue (orphaned
+        # publication temp dirs past the grace period) is still reaped.
+        (ambient_store / ".tmp-deadbeef-1-abc").mkdir(parents=True)
+        assert main(["design", "store", "gc", "--grace-s", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "reaped 1 residue item(s)" in out
+        assert not (ambient_store / ".tmp-deadbeef-1-abc").exists()
 
 
 class TestTuneCLI:

@@ -39,7 +39,15 @@ class TestDocsSite:
         assert not orphans, f"docs pages absent from mkdocs nav: {orphans}"
 
     def test_required_pages_exist(self):
-        for page in ("index.md", "architecture.md", "design-lifecycle.md", "kernels.md", "cli.md", "benchmarking.md"):
+        for page in (
+            "index.md",
+            "architecture.md",
+            "design-lifecycle.md",
+            "kernels.md",
+            "cli.md",
+            "benchmarking.md",
+            "robustness.md",
+        ):
             assert (DOCS / page).is_file(), f"ISSUE-mandated page missing: {page}"
 
     def test_relative_links_resolve(self):
@@ -56,7 +64,16 @@ class TestDocsSite:
 
     @pytest.mark.parametrize(
         "env_var",
-        ["REPRO_DESIGN_CACHE", "REPRO_DESIGN_STORE", "REPRO_KERNEL", "REPRO_BLAS_THREADS", "REPRO_KERNEL_TUNING"],
+        [
+            "REPRO_DESIGN_CACHE",
+            "REPRO_DESIGN_STORE",
+            "REPRO_KERNEL",
+            "REPRO_BLAS_THREADS",
+            "REPRO_KERNEL_TUNING",
+            "REPRO_FAULT_PLAN",
+            "REPRO_SERVE_BREAKER_THRESHOLD",
+            "REPRO_SERVE_BREAKER_COOLDOWN_MS",
+        ],
     )
     def test_env_var_table_documents(self, env_var):
         assert env_var in (DOCS / "index.md").read_text()
@@ -74,5 +91,5 @@ class TestCliReferenceCompleteness:
             assert f"`{command}" in cli_page, f"CLI page missing subcommand {command!r}"
         for design_cmd in ("build", "info", "decode", "store"):
             assert f"design {design_cmd}" in cli_page
-        for store_cmd in ("ls", "gc", "stats"):
+        for store_cmd in ("ls", "gc", "stats", "fsck"):
             assert store_cmd in cli_page

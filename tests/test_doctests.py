@@ -16,6 +16,8 @@ MODULES_WITH_DOCTESTS = [
     "repro.designs.compiled",
     "repro.designs.protocol",
     "repro.designs.store",
+    "repro.faults.plan",
+    "repro.serve.breaker",
     "repro.serve.protocol",
     "repro.engine.backend",
     "repro.noise.models",
