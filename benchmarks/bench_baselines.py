@@ -61,6 +61,20 @@ def test_baselines_regenerate(benchmark, repro_seed):
     assert len(out) == 4
 
 
+@pytest.mark.parametrize("name", sorted(DECODERS))
+def test_decoder_timing(name, benchmark, repro_seed):
+    """Per-decoder timing record: one JSON row per family, tracked across PRs."""
+    rng = np.random.default_rng(repro_seed)
+    sigma = random_signal(N, K, rng)
+    design = PoolingDesign.sample(N, 200, rng)
+    y = design.query_results(sigma)
+    decode = DECODERS[name]
+
+    out = benchmark.pedantic(lambda: decode(design, y), rounds=3, iterations=1)
+    benchmark.extra_info.update({"decoder": name, "n": N, "m": 200, "k": K})
+    assert out.shape == (N,)
+
+
 def test_all_decoders_reach_recovery(shootout, check):
     @check
     def _():

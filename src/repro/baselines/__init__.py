@@ -28,6 +28,26 @@ from repro.baselines.bin_gt import (
     dd_decode,
     run_gt_trial,
 )
+from repro.baselines.centring import (
+    centre_matrix,
+    centre_observations,
+    check_observations,
+    column_mean,
+    column_norms,
+    pool_gamma,
+    pool_variance,
+)
+from repro.baselines.compiled import (
+    AMPDecoder,
+    COMPDecoder,
+    CompiledAMPDecoder,
+    CompiledGTDecoder,
+    CompiledLPDecoder,
+    CompiledOMPDecoder,
+    DDDecoder,
+    LPDecoder,
+    OMPDecoder,
+)
 from repro.baselines.sequential import (
     SequentialResult,
     adaptive_binary_splitting,
@@ -39,6 +59,22 @@ __all__ = [
     "omp_decode",
     "amp_decode",
     "AMPResult",
+    "LPDecoder",
+    "OMPDecoder",
+    "AMPDecoder",
+    "COMPDecoder",
+    "DDDecoder",
+    "CompiledLPDecoder",
+    "CompiledOMPDecoder",
+    "CompiledAMPDecoder",
+    "CompiledGTDecoder",
+    "pool_gamma",
+    "column_mean",
+    "pool_variance",
+    "centre_matrix",
+    "centre_observations",
+    "column_norms",
+    "check_observations",
     "BernoulliORDesign",
     "comp_decode",
     "dd_decode",

@@ -25,6 +25,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.baselines.centring import (
+    centre_matrix,
+    centre_observations,
+    check_observations,
+    column_mean,
+    pool_gamma,
+    pool_variance,
+)
 from repro.core.design import PoolingDesign
 from repro.parallel.sort import parallel_top_k
 from repro.util.validation import check_positive_int
@@ -77,22 +85,26 @@ def amp_decode(
         Iteration cap.
     tol:
         Convergence threshold on the mean absolute estimate change.
+
+    Raises
+    ------
+    ValueError
+        If ``k`` is not a positive integer < n, or ``y`` has the wrong
+        length or non-finite entries.
     """
     k = check_positive_int(k, "k")
     if k >= design.n:
         raise ValueError(f"require k < n, got k={k}, n={design.n}")
-    y = np.asarray(y, dtype=np.float64)
-    if y.shape != (design.m,):
-        raise ValueError(f"y must have length m={design.m}")
+    y = check_observations(y, design.m)
     max_iter = check_positive_int(max_iter, "max_iter")
 
     n, m = design.n, design.m
     a = design.counts_matrix().to_dense().astype(np.float64)
-    gamma = float(np.diff(design.indptr).mean())
-    mu = gamma / n
-    v = gamma * (1.0 / n) * (1.0 - 1.0 / n)
-    f = (a - mu) / np.sqrt(v * m)
-    y_t = (y - k * mu) / np.sqrt(v * m)
+    gamma = pool_gamma(design.indptr)
+    mu = column_mean(gamma, n)
+    v = pool_variance(gamma, n)
+    f = centre_matrix(a, mu) / np.sqrt(v * m)
+    y_t = centre_observations(y, k, mu) / np.sqrt(v * m)
 
     eps = k / n
     x = np.full(n, eps, dtype=np.float64)

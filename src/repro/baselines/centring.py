@@ -1,0 +1,101 @@
+"""Shared centring algebra for the compressed-sensing baselines.
+
+LP, OMP and AMP all work on the *centred* count matrix: the pooled-count
+columns have mean ``Γ/n`` (``Γ`` = pool size, ``1/2·n`` by default), so the
+matrix and the observation must be shifted before any correlation or
+message-passing step makes sense:
+
+    Ã = A − Γ/n,    ỹ = y − k·Γ/n.
+
+For ragged designs (pools of unequal size) ``Γ`` is the *mean* pool size —
+the exact value ``float(np.diff(indptr).mean())`` the legacy decoders used,
+reproduced here bit-for-bit so the compiled decoder paths stay bit-identical
+to the one-shot functions.  AMP additionally needs the per-entry variance
+``v = Γ/n·(1 − 1/n)`` of the count distribution, also centralised here.
+
+Every helper takes plain arrays (or a :class:`~repro.core.design.PoolingDesign`
+``indptr``) so both the legacy per-call path and the compiled artifacts can
+share one implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "pool_gamma",
+    "column_mean",
+    "pool_variance",
+    "centre_matrix",
+    "centre_observations",
+    "column_norms",
+    "check_observations",
+]
+
+
+def pool_gamma(indptr: np.ndarray) -> float:
+    """Mean pool size ``Γ`` from a CSR ``indptr`` (ragged-design safe).
+
+    Bit-identical to the legacy decoders' ``float(np.diff(indptr).mean())``:
+    the sum of pool sizes is an exact integer, so the division is the same
+    single rounding every caller performed.
+    """
+    return float(np.diff(np.asarray(indptr)).mean())
+
+
+def column_mean(gamma: float, n: int) -> float:
+    """Per-entry column mean ``μ = Γ/n`` of the count matrix."""
+    return gamma / n
+
+
+def pool_variance(gamma: float, n: int) -> float:
+    """Per-entry variance ``v = Γ/n·(1 − 1/n)`` of the count distribution.
+
+    The sampling-with-replacement count of one item in one pool is
+    Binomial(Γ, 1/n); this is its variance, the scaling AMP's standardised
+    sensing matrix ``F = (A − μ)/√(v·m)`` assumes.
+    """
+    return gamma * (1.0 / n) * (1.0 - 1.0 / n)
+
+
+def centre_matrix(a: np.ndarray, mean: float) -> np.ndarray:
+    """Centred matrix ``Ã = A − μ`` (new float64 array)."""
+    return np.asarray(a, dtype=np.float64) - mean
+
+
+def centre_observations(y: np.ndarray, k: "int | np.ndarray", mean: float) -> np.ndarray:
+    """Centred observations ``ỹ = y − k·μ`` for scalar or per-row ``k``.
+
+    With a batch ``Y`` of shape ``(B, m)`` and a per-row ``k`` array of
+    shape ``(B,)``, the subtraction broadcasts row-wise.
+    """
+    y = np.asarray(y, dtype=np.float64)
+    if np.ndim(k) > 0 and y.ndim == 2:
+        return y - np.asarray(k, dtype=np.float64)[:, None] * mean
+    return y - np.asarray(k, dtype=np.float64) * mean
+
+
+def column_norms(a_c: np.ndarray) -> np.ndarray:
+    """ℓ2 norms per centred column, with zero norms mapped to 1.
+
+    The zero-norm guard keeps OMP's correlation ratio finite for columns
+    the design never sampled (possible in tiny ragged designs).
+    """
+    norms = np.linalg.norm(a_c, axis=0)
+    norms[norms == 0] = 1.0
+    return norms
+
+
+def check_observations(y: np.ndarray, m: int, *, name: str = "y") -> np.ndarray:
+    """Validate one observation vector: shape ``(m,)``, finite, float64.
+
+    Raises a clean :class:`ValueError` for the wrong length or non-finite
+    entries (NaN/±inf) instead of letting them surface as opaque numpy
+    errors deep inside ``lstsq`` or the AMP iteration.
+    """
+    y = np.asarray(y, dtype=np.float64)
+    if y.shape != (m,):
+        raise ValueError(f"{name} must have length m={m}")
+    if not np.isfinite(y).all():
+        raise ValueError(f"{name} must be finite; got NaN or infinity")
+    return y

@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.optimize import linprog
 
+from repro.baselines.centring import check_observations
 from repro.core.design import PoolingDesign
 from repro.parallel.sort import parallel_top_k
 from repro.util.validation import check_positive_int
@@ -57,9 +58,7 @@ def basis_pursuit_decode(design: PoolingDesign, y: np.ndarray, k: int) -> np.nda
     k = check_positive_int(k, "k")
     if k > design.n:
         raise ValueError(f"k={k} exceeds n={design.n}")
-    y = np.asarray(y, dtype=np.float64)
-    if y.shape != (design.m,):
-        raise ValueError(f"y must have length m={design.m}")
+    y = check_observations(y, design.m)
 
     a_dense = design.counts_matrix().to_dense().astype(np.float64)
     n = design.n

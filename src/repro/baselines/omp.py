@@ -18,6 +18,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.baselines.centring import (
+    centre_matrix,
+    centre_observations,
+    check_observations,
+    column_mean,
+    column_norms,
+    pool_gamma,
+)
 from repro.core.design import PoolingDesign
 from repro.util.validation import check_positive_int
 
@@ -40,22 +48,24 @@ def omp_decode(design: PoolingDesign, y: np.ndarray, k: int) -> np.ndarray:
     -------
     numpy.ndarray
         Weight-``k`` 0/1 estimate.
+
+    Raises
+    ------
+    ValueError
+        If ``k`` is not a positive integer ≤ n, or ``y`` has the wrong
+        length or non-finite entries.
     """
     k = check_positive_int(k, "k")
     if k > design.n:
         raise ValueError(f"k={k} exceeds n={design.n}")
-    y = np.asarray(y, dtype=np.float64)
-    if y.shape != (design.m,):
-        raise ValueError(f"y must have length m={design.m}")
+    y = check_observations(y, design.m)
 
     a = design.counts_matrix().to_dense().astype(np.float64)
-    gamma = float(np.diff(design.indptr).mean())
-    mean = gamma / design.n
-    a_c = a - mean
-    y_c = y - k * mean
+    mean = column_mean(pool_gamma(design.indptr), design.n)
+    a_c = centre_matrix(a, mean)
+    y_c = centre_observations(y, k, mean)
 
-    col_norms = np.linalg.norm(a_c, axis=0)
-    col_norms[col_norms == 0] = 1.0
+    col_norms = column_norms(a_c)
 
     support: "list[int]" = []
     residual = y_c.copy()

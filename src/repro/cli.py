@@ -2,19 +2,20 @@
 
 One subcommand per paper artefact:
 
-========  =====================================================
-fig1      print the worked Fig. 1 example
-fig2      required queries vs n (writes results/fig2.csv)
-fig3      success rate vs m for one panel
-fig4      overlap vs m for one panel
-fignoise  noisy-channel robustness phase diagram (§VI extension)
-claims    the §VI in-text claim table
-it        empirical Theorem-2 phase transition (exhaustive)
-thresh    threshold constants table across θ
-design    compiled-design lifecycle: build | info | decode | store
-tune      kernel autotuner: probe (kernel, blas_threads) combos
-serve     async decode service with request coalescing (NDJSON)
-========  =====================================================
+===========  =====================================================
+fig1         print the worked Fig. 1 example
+fig2         required queries vs n (writes results/fig2.csv)
+fig3         success rate vs m for one panel
+fig4         overlap vs m for one panel
+fignoise     noisy-channel robustness phase diagram (§VI extension)
+figdecoders  (θ, decoder) recovery phase diagram (§I-B/§I-D baselines)
+claims       the §VI in-text claim table
+it           empirical Theorem-2 phase transition (exhaustive)
+thresh       threshold constants table across θ
+design       compiled-design lifecycle: build | info | decode | store
+tune         kernel autotuner: probe (kernel, blas_threads) combos
+serve        async decode service with request coalescing (NDJSON)
+===========  =====================================================
 
 The ``design`` group is the deploy-time face of the sample→compile→decode
 lifecycle: ``build`` compiles a stream-keyed design once and persists the
@@ -106,6 +107,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="batched grid (one design per theta, trials vectorised) or classic per-trial streaming loop",
     )
 
+    pg = sub.add_parser("figdecoders", help="figdecoders: (theta, decoder) recovery phase diagram")
+    pg.add_argument("--n", type=int, default=1000)
+    pg.add_argument("--thetas", type=float, nargs="+", default=[0.1, 0.2, 0.3, 0.4])
+    pg.add_argument(
+        "--decoders",
+        type=str,
+        nargs="+",
+        default=None,
+        help="registry decoder columns (default: mn lp omp amp comp dd)",
+    )
+    pg.add_argument("--m", type=int, default=None, help="shared query budget (default: 1.25x the per-theta threshold)")
+    pg.add_argument("--trials", type=int, default=20)
+    pg.add_argument("--workers", type=int, default=1)
+    pg.add_argument("--seed", type=int, default=0)
+
     pc = sub.add_parser("claims", help="§VI in-text claim table")
     pc.add_argument("--trials", type=int, default=50)
     pc.add_argument("--workers", type=int, default=0)
@@ -140,6 +156,7 @@ def build_parser() -> argparse.ArgumentParser:
     dd.add_argument("--k", type=int, required=True, help="signal weight")
     dd.add_argument("--y-file", type=str, default=None, help="whitespace-separated result counts (default: results stored in the artifact)")
     dd.add_argument("--blocks", type=int, default=1, help="top-k decomposition width")
+    dd.add_argument("--decoder", type=str, default="mn", help="registry decoder to run (mn, lp, omp, amp, comp, dd)")
 
     ds = dsub.add_parser("store", help="cross-process design store: ls | gc | fsck | stats")
     ssub = ds.add_subparsers(dest="store_command", required=True)
@@ -194,6 +211,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ps.add_argument("--decode-retries", type=int, default=1, help="failed-batch retries on a freshly attached decoder")
     ps.add_argument("--blocks", type=int, default=1, help="top-k decomposition width of the MN decoder")
+    ps.add_argument(
+        "--decoder",
+        type=str,
+        default=None,
+        help=f"default registry decoder for requests without a 'decoder' field (default mn, or ${{{_serve_env('DECODER')}}}); every registered decoder stays servable by name",
+    )
     ps.add_argument("--store", type=str, default=None, help="design-store directory for read-through compiles (default: $REPRO_DESIGN_STORE)")
 
     ptu = sub.add_parser("tune", help="kernel autotuner: probe (kernel, blas_threads) combos")
@@ -313,6 +336,45 @@ def _cmd_fignoise(args) -> int:
     table = [
         (f"{s.theta:.1f}", s.m, *(f"{p.success.mean:.3f}" for p in s.points))
         for s in series
+    ]
+    print(format_table(headers, table))
+    return 0
+
+
+def _cmd_figdecoders(args) -> int:
+    from repro.experiments.figdecoders import DEFAULT_DECODER_GRID, run_figdecoders
+    from repro.experiments.gnuplot import emit_figdecoders_script
+
+    decoders = tuple(args.decoders) if args.decoders else DEFAULT_DECODER_GRID
+    csv_name = f"figdecoders_n{args.n}"
+    try:
+        series = run_figdecoders(
+            n=args.n,
+            decoders=decoders,
+            thetas=tuple(args.thetas),
+            m=args.m,
+            trials=args.trials,
+            root_seed=args.seed,
+            workers=args.workers,
+            csv_name=csv_name,
+            plot=True,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    gp = emit_figdecoders_script(csv_name, decoders=decoders)
+    print(f"[gnuplot script: {gp}]")
+    # The phase diagram itself: rows are theta (with their budgets),
+    # columns are decoders, cells are exact-recovery rates.
+    headers = ["theta", "m"] + list(decoders)
+    by_decoder = {s.decoder: s.points for s in series}
+    table = [
+        (
+            f"{p.theta:g}",
+            p.m,
+            *(f"{by_decoder[d][i].success.mean:.3f}" for d in decoders),
+        )
+        for i, p in enumerate(series[0].points)
     ]
     print(format_table(headers, table))
     return 0
@@ -484,9 +546,12 @@ def _cmd_design(args) -> int:
     if args.design_command == "decode":
         import numpy as np
 
-        from repro.core.mn import MNDecoder
+        from repro.designs import available_decoders, make_decoder
 
         compiled, y_stored = load_compiled_design(args.path)
+        if args.decoder not in available_decoders():
+            print(f"error: unknown decoder {args.decoder!r}; available: {', '.join(available_decoders())}", file=sys.stderr)
+            return 2
         if args.y_file is not None:
             try:
                 y = np.loadtxt(args.y_file, dtype=np.int64, ndmin=1)
@@ -501,9 +566,10 @@ def _cmd_design(args) -> int:
         if y.shape != (compiled.m,):
             print(f"error: expected {compiled.m} result counts, got {y.shape}", file=sys.stderr)
             return 2
-        decoder = MNDecoder(blocks=args.blocks).compile(compiled)
+        decoder = make_decoder(args.decoder, blocks=args.blocks).compile(compiled)
         sigma_hat = decoder.decode(y, args.k)
         support = np.flatnonzero(sigma_hat)
+        print(f"decoder = {args.decoder}")
         print(f"k = {args.k}")
         print("support:", " ".join(str(int(i)) for i in support))
         return 0
@@ -523,10 +589,19 @@ def _serve_knob(arg_value, env_suffix: str, default, cast):
 def _cmd_serve(args) -> int:
     import asyncio
 
-    from repro.core.mn import MNDecoder
-    from repro.designs import DesignStore, resolve_design_cache, resolve_design_store
+    from repro.designs import (
+        DesignStore,
+        available_decoders,
+        make_decoder,
+        resolve_design_cache,
+        resolve_design_store,
+    )
     from repro.serve import ServeConfig, serve_forever
 
+    default_decoder = str(_serve_knob(args.decoder, "DECODER", "mn", str))
+    if default_decoder not in available_decoders():
+        print(f"error: unknown decoder {default_decoder!r}; available: {', '.join(available_decoders())}", file=sys.stderr)
+        return 2
     try:
         config = ServeConfig(
             batch_window_ms=float(_serve_knob(args.batch_window_ms, "WINDOW_MS", 2.0, float)),
@@ -537,18 +612,19 @@ def _cmd_serve(args) -> int:
             decode_retries=args.decode_retries,
             breaker_threshold=int(_serve_knob(args.breaker_threshold, "BREAKER_THRESHOLD", 5, int)),
             breaker_cooldown_ms=float(_serve_knob(args.breaker_cooldown_ms, "BREAKER_COOLDOWN_MS", 5000.0, float)),
+            default_decoder=default_decoder,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     store = DesignStore(args.store) if args.store is not None else resolve_design_store(None)
-    # The server types against the Decoder protocol; MN is the reference
-    # implementation plugged in here — a baseline port swaps this one line.
-    decoder = MNDecoder(blocks=args.blocks)
+    # The server types against the Decoder protocol; the registry supplies
+    # every servable family, so one process answers any decoder by name.
+    decoders = {name: make_decoder(name, blocks=args.blocks) for name in available_decoders()}
     try:
         asyncio.run(
             serve_forever(
-                decoder,
+                decoders,
                 config,
                 stdio=args.stdio,
                 host=args.host if args.host is not None else "127.0.0.1",
@@ -603,6 +679,8 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
         return _cmd_fig34(args, args.command)
     if args.command == "fignoise":
         return _cmd_fignoise(args)
+    if args.command == "figdecoders":
+        return _cmd_figdecoders(args)
     if args.command == "claims":
         return _cmd_claims(args)
     if args.command == "it":

@@ -172,22 +172,10 @@ class MNDecoder:
         that skips design sampling and streaming entirely, bit-identical
         to the one-shot routes.
         """
-        from repro.designs.cache import resolve_design_cache
-        from repro.designs.compiled import CompiledDesign, DesignKey, compile_design, compile_from_key
+        from repro.designs.compiled import resolve_compiled
         from repro.designs.serving import CompiledMNDecoder
-        from repro.designs.store import resolve_design_store
 
-        cache_obj = resolve_design_cache(cache)
-        store_obj = resolve_design_store(store)
-        if isinstance(design, CompiledDesign):
-            compiled = design
-        elif isinstance(design, DesignKey):
-            compiled = compile_from_key(design, cache=cache_obj, store=store_obj)
-        elif isinstance(design, PoolingDesign):
-            compiled = compile_design(design, cache=cache_obj, store=store_obj)
-        else:
-            raise TypeError(f"cannot compile a {type(design).__name__}; expected CompiledDesign, PoolingDesign or DesignKey")
-        return CompiledMNDecoder(compiled, self)
+        return CompiledMNDecoder(resolve_compiled(design, cache=cache, store=store), self)
 
     def rank_entries(self, stats: DesignStats, k: int) -> np.ndarray:
         """Full score ranking — the literal Lines 7–9 of Algorithm 1.

@@ -26,7 +26,11 @@ time and reused across calls, batches and processes:
   :class:`CompiledDecoder` protocol pair (``compile`` →
   ``decode``/``decode_batch``) that serving layers and baseline ports
   type against; ``MNDecoder``/``CompiledMNDecoder`` are the reference
-  implementations.
+  implementations;
+* :mod:`repro.designs.registry` — the decoder registry mapping wire/CLI
+  names (``mn``, ``lp``, ``omp``, ``amp``, ``comp``, ``dd``) to
+  :class:`Decoder` factories, so the serve layer and experiment drivers
+  select decoders by name.
 
 Layering: ``core`` → ``designs`` → ``engine``/``experiments``/``cli``.
 Core entry points accept ``design=``/``cache=``/``store=`` and import
@@ -41,8 +45,20 @@ from repro.designs.cache import (
     reset_default_design_cache,
     resolve_design_cache,
 )
-from repro.designs.compiled import CompiledDesign, DesignKey, compile_design, compile_from_key
+from repro.designs.compiled import (
+    CompiledDesign,
+    DesignKey,
+    compile_design,
+    compile_from_key,
+    resolve_compiled,
+)
 from repro.designs.protocol import CompiledDecoder, Decoder
+from repro.designs.registry import (
+    DEFAULT_DECODER,
+    available_decoders,
+    make_decoder,
+    register_decoder,
+)
 from repro.designs.serving import CompiledMNDecoder
 from repro.designs.sharing import CompiledDesignDescriptor, SharedCompiledDesign, attach_compiled
 from repro.designs.store import (
@@ -63,6 +79,11 @@ __all__ = [
     "CompiledDesign",
     "compile_design",
     "compile_from_key",
+    "resolve_compiled",
+    "DEFAULT_DECODER",
+    "available_decoders",
+    "make_decoder",
+    "register_decoder",
     "DesignCache",
     "CacheStats",
     "resolve_design_cache",

@@ -41,7 +41,14 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
     from repro.designs.cache import DesignCache
     from repro.designs.store import DesignStore
 
-__all__ = ["DesignKey", "CompiledDesign", "compile_design", "compile_from_key", "BLOCK_RESIDENCY_LIMIT"]
+__all__ = [
+    "DesignKey",
+    "CompiledDesign",
+    "compile_design",
+    "compile_from_key",
+    "resolve_compiled",
+    "BLOCK_RESIDENCY_LIMIT",
+]
 
 #: Largest dense incidence block (``(m, n)`` in the design's block dtype) a
 #: compiled design will keep resident, in bytes.  Beyond this, ``psi`` falls
@@ -270,6 +277,7 @@ class CompiledDesign:
         self.dstar.setflags(write=False)
         self.delta.setflags(write=False)
         self._block: "np.ndarray | None" = None
+        self._counts: "np.ndarray | None" = None
         self._block_lock = threading.Lock()
 
     # -- identity -------------------------------------------------------------
@@ -347,6 +355,35 @@ class CompiledDesign:
                     block.setflags(write=False)
                     self._block = block
         return self._block
+
+    def counts_block(self) -> "np.ndarray | None":
+        """The ``(m, n)`` dense **count** matrix, materialised once.
+
+        Pools sample *with replacement*, so an item can appear several
+        times in one pool; this block keeps those multiplicities, unlike
+        :meth:`incidence_block` which collapses duplicates to 0/1.  The
+        compressed-sensing baselines (LP/OMP/AMP) decode against counts —
+        value-identical to ``design.counts_matrix().to_dense()`` (counts
+        are small integers, exact in float64).  Always float64: centred
+        arithmetic downstream is float, and the counts block is a
+        baseline-decoder artifact, not a ``Ψ`` operand.
+
+        ``None`` when an ``(m, n)`` float64 block would exceed
+        :data:`BLOCK_RESIDENCY_LIMIT` — callers must fall back to (or
+        refuse) the materialised path explicitly.
+        """
+        if np.dtype(np.float64).itemsize * self.m * self.n > BLOCK_RESIDENCY_LIMIT:
+            return None
+        if self._counts is None:
+            with self._block_lock:
+                if self._counts is None:
+                    design = self.design
+                    rows = np.repeat(np.arange(self.m, dtype=np.int64), np.diff(design.indptr))
+                    flat = np.bincount(rows * self.n + design.entries, minlength=self.m * self.n)
+                    counts = flat.reshape(self.m, self.n).astype(np.float64)
+                    counts.setflags(write=False)
+                    self._counts = counts
+        return self._counts
 
     def adopt_block(self, block: np.ndarray) -> None:
         """Adopt an externally materialised dense block zero-copy.
@@ -454,6 +491,36 @@ def compile_design(
     from repro.designs.store import fetch_compiled
 
     return fetch_compiled(resolved_key, lambda: CompiledDesign(design, key=resolved_key), cache=cache, store=store)
+
+
+def resolve_compiled(
+    design: "CompiledDesign | PoolingDesign | DesignKey",
+    *,
+    cache: "DesignCache | None" = None,
+    store: "DesignStore | None" = None,
+) -> CompiledDesign:
+    """Resolve any design form a ``Decoder.compile`` accepts into an artifact.
+
+    The one shared front door for every decoder implementation (MN and the
+    compiled baselines alike): a ready :class:`CompiledDesign` passes
+    through, a :class:`DesignKey` regenerates via :func:`compile_from_key`,
+    and a materialised :class:`~repro.core.design.PoolingDesign` compiles
+    content-addressed via :func:`compile_design`.  ``cache``/``store``
+    resolve through the ambient ``REPRO_DESIGN_CACHE``/``REPRO_DESIGN_STORE``
+    configuration exactly as ``MNDecoder.compile`` always did.
+    """
+    from repro.designs.cache import resolve_design_cache
+    from repro.designs.store import resolve_design_store
+
+    cache_obj = resolve_design_cache(cache)
+    store_obj = resolve_design_store(store)
+    if isinstance(design, CompiledDesign):
+        return design
+    if isinstance(design, DesignKey):
+        return compile_from_key(design, cache=cache_obj, store=store_obj)
+    if isinstance(design, PoolingDesign):
+        return compile_design(design, cache=cache_obj, store=store_obj)
+    raise TypeError(f"cannot compile a {type(design).__name__}; expected CompiledDesign, PoolingDesign or DesignKey")
 
 
 def compile_from_key(key: DesignKey, *, cache: "DesignCache | None" = None, store: "DesignStore | None" = None) -> CompiledDesign:

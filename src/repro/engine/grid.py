@@ -77,6 +77,7 @@ def run_batched_point(
     noise: "NoiseModel | None" = None,
     repeats: int = 1,
     kernel: "str | None" = None,
+    decoder: str = "mn",
     cache: "DesignCache | None" = None,
     store: "DesignStore | None" = None,
 ) -> BatchedPointResult:
@@ -96,11 +97,17 @@ def run_batched_point(
     ``repeats`` averages that many corrupted replicas per trial
     (repeat-query averaging); the zero-level channel is an exact no-op and
     reproduces the noiseless point bit for bit.
+
+    ``decoder`` selects the registry decoder the point runs under
+    (default ``"mn"``); baselines decode the same signals and corrupted
+    results through their compiled batch ports.
     """
     repeats = check_positive_int(repeats, "repeats")
     design, compiled, sigmas, k = _point_first_stage(n, m, theta, k, trials, root_seed, point_id, gamma, cache, store)
     y_clean = design.query_results(sigmas, kernel=kernel)
-    return _decode_noisy_point(design, sigmas, y_clean, k, root_seed, point_id, blocks, noise, repeats, kernel=kernel, compiled=compiled)
+    return _decode_noisy_point(
+        design, sigmas, y_clean, k, root_seed, point_id, blocks, noise, repeats, kernel=kernel, compiled=compiled, decoder=decoder
+    )
 
 
 def _point_first_stage(
@@ -168,6 +175,7 @@ def _decode_noisy_point(
     repeats: int,
     kernel: "str | None" = None,
     compiled=None,
+    decoder: str = "mn",
 ) -> BatchedPointResult:
     """Corrupt + decode one batched point against precomputed first-stage data.
 
@@ -190,6 +198,20 @@ def _decode_noisy_point(
             ]
         )
         y = average_replicas(replicas) if repeats > 1 else replicas[0]
+    if decoder != "mn":
+        # Registry baselines decode the same batch through their compiled
+        # ports ((B,m)@(m,n) GEMMs); the artifact is reused when resolved.
+        from repro.designs import make_decoder
+
+        compiled_dec = make_decoder(decoder, blocks=blocks).compile(compiled if compiled is not None else design)
+        sigma_hat = compiled_dec.decode_batch(np.asarray(y, dtype=np.float64), k)
+        return BatchedPointResult(
+            n=design.n,
+            m=design.m,
+            k=k,
+            success=np.asarray(exact_recovery(sigmas, sigma_hat)),
+            overlap=np.asarray(overlap_fraction(sigmas, sigma_hat)),
+        )
     if compiled is not None:
         stats = compiled.stats_for(y)
     else:
@@ -226,6 +248,7 @@ def run_batched_point_sweep(
     blocks: int = 1,
     repeats: int = 1,
     kernel: "str | None" = None,
+    decoder: str = "mn",
     cache: "DesignCache | None" = None,
     store: "DesignStore | None" = None,
 ) -> "list[BatchedPointResult]":
@@ -243,7 +266,9 @@ def run_batched_point_sweep(
     design, compiled, sigmas, k = _point_first_stage(n, m, theta, k, trials, root_seed, point_id, gamma, cache, store)
     y_clean = design.query_results(sigmas, kernel=kernel)
     return [
-        _decode_noisy_point(design, sigmas, y_clean, k, root_seed, point_id, blocks, model, repeats, kernel=kernel, compiled=compiled)
+        _decode_noisy_point(
+            design, sigmas, y_clean, k, root_seed, point_id, blocks, model, repeats, kernel=kernel, compiled=compiled, decoder=decoder
+        )
         for model in models
     ]
 
@@ -272,7 +297,7 @@ def _grid_point_task(payload, cache) -> BatchedPointResult:
     directory, so all workers share one on-disk compilation.  The serial
     path pre-seeds both slots with the caller's objects directly.
     """
-    n, m, theta, k, trials, root_seed, point_id, gamma, blocks, noise, repeats, kernel, cache_bytes, store_spec = payload
+    n, m, theta, k, trials, root_seed, point_id, gamma, blocks, noise, repeats, kernel, decoder, cache_bytes, store_spec = payload
     if cache_bytes is None:
         # Caching explicitly off for this grid: also release any cache a
         # previous grid left behind in this worker (the opt-in contract
@@ -307,6 +332,7 @@ def _grid_point_task(payload, cache) -> BatchedPointResult:
         noise=noise,
         repeats=repeats,
         kernel=kernel,
+        decoder=decoder,
         cache=design_cache,
         store=design_store,
     )
@@ -326,6 +352,7 @@ def run_trial_grid(
     workers: int = 1,
     noise: "NoiseModel | None" = None,
     repeats: int = 1,
+    decoder: str = "mn",
     cache: "DesignCache | None" = None,
     store: "DesignStore | None" = None,
 ) -> "list[BatchedPointResult]":
@@ -365,7 +392,7 @@ def run_trial_grid(
         store_obj = resolve_design_store(store)
         store_spec = (str(store_obj.root), store_obj.max_bytes, store_obj.keep_blocks) if store_obj is not None else None
         payloads = [
-            (n, int(m), theta, k, trials, root_seed, idx, gamma, exec_backend.blocks, noise, repeats, kernel, cache_bytes, store_spec)
+            (n, int(m), theta, k, trials, root_seed, idx, gamma, exec_backend.blocks, noise, repeats, kernel, decoder, cache_bytes, store_spec)
             for idx, m in enumerate(ms)
         ]
         if exec_backend.workers == 1:

@@ -4,9 +4,10 @@
 :func:`~repro.core.mn.run_mn_trial`: one signal, one materialised design,
 results corrupted *before* decoding — the decoder sees only the corrupted
 world, exactly as a lab would.  It now also hosts the baseline comparison
-hooks (``decoder="lp" | "omp"``): LP and OMP consume the same corrupted
-results through the same design, so the comparison isolates how each
-estimator copes with the channel rather than how it samples.
+hooks (``decoder="lp" | "omp" | "amp" | "comp" | "dd"``): every baseline
+consumes the same corrupted results through the same design, so the
+comparison isolates how each estimator copes with the channel rather than
+how it samples.
 
 Stream layout is unchanged from the original single-trial harness
 (``SeedSequence`` spawn key ``(941, trial)``, three child streams for
@@ -40,12 +41,16 @@ __all__ = ["run_noisy_mn_trial", "NOISY_TRIAL_SPAWN_TAG"]
 #: so archived robustness sweeps stay reproducible).
 NOISY_TRIAL_SPAWN_TAG = 941
 
-#: Decoders runnable against the corrupted results.  LP and OMP are
+#: Decoders runnable against the corrupted results.  Baselines are
 #: imported lazily (scipy) and only when requested.
-_DECODERS = ("mn", "lp", "omp")
+_DECODERS = ("mn", "lp", "omp", "amp", "comp", "dd")
 
 
-def _decode(decoder: str, design: PoolingDesign, y: np.ndarray, k: int) -> np.ndarray:
+def _decode(decoder: str, design: "PoolingDesign | CompiledDesign", y: np.ndarray, k: int) -> np.ndarray:
+    # The legacy branches run the historical code paths bit for bit; the
+    # registry branch serves every newer family through the compiled port
+    # (single-signal decode is bit-identical to the legacy functions by
+    # the parity contract in repro.baselines.compiled).
     if decoder == "mn":
         return mn_reconstruct(design, y, k)
     if decoder == "lp":
@@ -56,6 +61,10 @@ def _decode(decoder: str, design: PoolingDesign, y: np.ndarray, k: int) -> np.nd
         from repro.baselines.omp import omp_decode
 
         return omp_decode(design, y, k)
+    if decoder in _DECODERS:
+        from repro.designs import make_decoder
+
+        return make_decoder(decoder).compile(design).decode(y, k)
     raise ValueError(f"unknown decoder {decoder!r}; expected one of {_DECODERS}")
 
 
@@ -86,10 +95,12 @@ def run_noisy_mn_trial(
     noise:
         The channel model.
     decoder:
-        ``"mn"`` (default), or the noisy comparison hooks ``"lp"``
-        (box-constrained basis pursuit) and ``"omp"`` (centred OMP) —
-        identical signal, design and corrupted results, different
-        estimator.
+        ``"mn"`` (default), or a noisy comparison hook: ``"lp"``
+        (box-constrained basis pursuit), ``"omp"`` (centred OMP),
+        ``"amp"`` (Bernoulli-prior AMP), or the binary group-testing
+        decoders ``"comp"``/``"dd"`` (which binarise the counts to OR
+        observations) — identical signal, design and corrupted results,
+        different estimator.
     repeats:
         Repeat-query averaging: corrupt ``repeats`` independent replicas
         of the results and decode their rounded mean.  ``repeats=1``
@@ -158,6 +169,10 @@ def run_noisy_mn_trial(
     y_noisy = average_replicas(replicas)
     if decoder == "mn" and compiled is not None:
         sigma_hat = MNDecoder().decode(compiled.stats_for(y_noisy), k)
+    elif compiled is not None and decoder not in ("mn", "lp", "omp"):
+        # Registry decoders compile against the already-resolved artifact,
+        # so the cache/store hit is reused rather than re-deriving Ψ.
+        sigma_hat = _decode(decoder, compiled, y_noisy, k)
     else:
         sigma_hat = _decode(decoder, design_obj, y_noisy, k)
     return MNTrialResult(

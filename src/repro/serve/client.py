@@ -107,6 +107,7 @@ class ServeClient:
         y: "np.ndarray | list[int]",
         k: int,
         *,
+        decoder: "str | None" = None,
         request_id: "str | int | None" = None,
     ) -> dict:
         """Submit one decode request; returns the parsed response dict.
@@ -114,12 +115,16 @@ class ServeClient:
         Success responses have ``ok: True`` and a sorted ``support`` list;
         failures have ``ok: False`` and a structured ``error`` — the
         client never raises on a *served* error, only on transport loss.
+        ``decoder`` names a registry decoder; when ``None`` the field is
+        omitted and the server's configured default applies.
         """
         payload = {
             "design_key": json.loads(key.to_json()),
             "y": [int(v) for v in np.asarray(y).tolist()],
             "k": int(k),
         }
+        if decoder is not None:
+            payload["decoder"] = decoder
         return await self.request(payload, request_id=request_id)
 
     async def request(self, payload: dict, *, request_id: "str | int | None" = None) -> dict:

@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import asyncio
 from collections import OrderedDict
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -93,20 +94,26 @@ class CoalescerStats:
 
 
 class DecoderPool:
-    """Per-design LRU of attached decoders over the cache/store layers.
+    """Per-``(design, decoder)`` LRU of attached decoders over the cache/store layers.
 
-    ``get`` is read-through: a key served for the first time compiles (or
-    mmap-attaches from the L2 :class:`~repro.designs.store.DesignStore`)
-    on the executor, single-flight per key — concurrent batches for one
-    cold key await one compilation.  The pool holds at most
-    ``max_designs`` decoders; the least recently *served* one is evicted
-    (and closed, releasing any shared-memory residency) when a new design
-    crowds it out.
+    ``get`` is read-through: an entry served for the first time compiles
+    (or mmap-attaches from the L2 :class:`~repro.designs.store.DesignStore`)
+    on the executor, single-flight per entry — concurrent batches for one
+    cold entry await one compilation.  The pool holds at most
+    ``max_designs`` attached decoders; the least recently *served* one is
+    evicted (and closed, releasing any shared-memory residency) when a new
+    entry crowds it out.
+
+    ``decoder`` may be a single :class:`~repro.designs.protocol.Decoder`
+    (the historical single-algorithm pool; served under the name ``mn``)
+    or a mapping of registry names to decoders — the multi-decoder server
+    passes the whole registry, so one pool serves every family keyed by
+    ``(DesignKey, name)``.
     """
 
     def __init__(
         self,
-        decoder: "Decoder",
+        decoder: "Decoder | Mapping[str, Decoder]",
         *,
         max_designs: int = 8,
         cache: "DesignCache | None" = None,
@@ -115,13 +122,19 @@ class DecoderPool:
     ):
         if max_designs < 1:
             raise ValueError("max_designs must be positive")
-        self._decoder = decoder
+        if isinstance(decoder, Mapping):
+            if not decoder:
+                raise ValueError("decoder mapping must not be empty")
+            self._decoders: "dict[str, Decoder]" = dict(decoder)
+        else:
+            self._decoders = {"mn": decoder}
+        self.default_decoder = next(iter(self._decoders))
         self.max_designs = int(max_designs)
         self._cache = cache
         self._store = store
         self._executor = executor
-        self._entries: "OrderedDict[DesignKey, CompiledDecoder]" = OrderedDict()
-        self._inflight: "dict[DesignKey, asyncio.Task]" = {}
+        self._entries: "OrderedDict[tuple[DesignKey, str], CompiledDecoder]" = OrderedDict()
+        self._inflight: "dict[tuple[DesignKey, str], asyncio.Task]" = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -129,35 +142,49 @@ class DecoderPool:
     def __len__(self) -> int:
         return len(self._entries)
 
-    async def get(self, key: "DesignKey") -> "CompiledDecoder":
-        """The attached decoder for ``key`` (compiling read-through on a miss).
+    def decoder_names(self) -> "tuple[str, ...]":
+        """The decoder names this pool can serve."""
+        return tuple(self._decoders)
+
+    def _resolve_name(self, decoder: "str | None") -> str:
+        name = self.default_decoder if decoder is None else decoder
+        if name not in self._decoders:
+            known = ", ".join(self._decoders)
+            raise ProtocolError("bad_request", f"decoder {name!r} is not served here; available: {known}")
+        return name
+
+    async def get(self, key: "DesignKey", decoder: "str | None" = None) -> "CompiledDecoder":
+        """The attached decoder for ``(key, decoder)`` (read-through on a miss).
 
         Raises :class:`~repro.serve.protocol.ProtocolError` (``bad_key``)
         when the key cannot be served — unknown scheme with no store
-        entry, or a key whose compilation rejects it.
+        entry, or a key whose compilation rejects it — and
+        (``bad_request``) for a decoder name the pool does not hold.
         """
-        entry = self._entries.get(key)
+        name = self._resolve_name(decoder)
+        entry_key = (key, name)
+        entry = self._entries.get(entry_key)
         if entry is not None:
-            self._entries.move_to_end(key)
+            self._entries.move_to_end(entry_key)
             self.hits += 1
             return entry
         self.misses += 1
-        inflight = self._inflight.get(key)
+        inflight = self._inflight.get(entry_key)
         if inflight is None:
-            inflight = asyncio.get_running_loop().create_task(self._admit(key))
-            self._inflight[key] = inflight
-            inflight.add_done_callback(lambda _t: self._inflight.pop(key, None))
+            inflight = asyncio.get_running_loop().create_task(self._admit(entry_key))
+            self._inflight[entry_key] = inflight
+            inflight.add_done_callback(lambda _t: self._inflight.pop(entry_key, None))
         # shield: one waiter timing out must not cancel the shared compile.
         return await asyncio.shield(inflight)
 
-    async def _admit(self, key: "DesignKey") -> "CompiledDecoder":
+    async def _admit(self, entry_key: "tuple[DesignKey, str]") -> "CompiledDecoder":
         loop = asyncio.get_running_loop()
         try:
-            compiled = await loop.run_in_executor(self._executor, self._compile, key)
+            compiled = await loop.run_in_executor(self._executor, self._compile, entry_key)
         except (ValueError, TypeError) as exc:
             raise ProtocolError("bad_key", f"design key cannot be served: {exc}") from exc
-        self._entries[key] = compiled
-        self._entries.move_to_end(key)
+        self._entries[entry_key] = compiled
+        self._entries.move_to_end(entry_key)
         while len(self._entries) > self.max_designs:
             _, evicted = self._entries.popitem(last=False)
             self.evictions += 1
@@ -166,19 +193,21 @@ class DecoderPool:
                 close()
         return compiled
 
-    def _compile(self, key: "DesignKey") -> "CompiledDecoder":
+    def _compile(self, entry_key: "tuple[DesignKey, str]") -> "CompiledDecoder":
         """Executor-side compile — the only place the Decoder protocol is used."""
-        return self._decoder.compile(key, cache=self._cache, store=self._store)
+        key, name = entry_key
+        return self._decoders[name].compile(key, cache=self._cache, store=self._store)
 
-    def evict(self, key: "DesignKey") -> bool:
-        """Drop (and close) ``key``'s attached decoder, if any.
+    def evict(self, key: "DesignKey", decoder: "str | None" = None) -> bool:
+        """Drop (and close) the ``(key, decoder)`` attached decoder, if any.
 
         The retry path calls this after a failed ``decode_batch`` so the
         next :meth:`get` attaches a *fresh* decoder — recompiling through
         the cache/store layers, where a corrupt L2 entry quarantines and
         heals.  Returns whether an entry was evicted.
         """
-        entry = self._entries.pop(key, None)
+        name = self.default_decoder if decoder is None else decoder
+        entry = self._entries.pop((key, name), None)
         if entry is None:
             return False
         self.evictions += 1
@@ -233,18 +262,24 @@ class Coalescer:
         self.breaker_threshold = int(breaker_threshold)
         self.breaker_cooldown_s = float(breaker_cooldown_s)
         self._executor = executor
-        self._buckets: "dict[DesignKey, list[_Pending]]" = {}
-        self._timers: "dict[DesignKey, asyncio.TimerHandle]" = {}
-        self._breakers: "dict[DesignKey, CircuitBreaker]" = {}
+        # Coalescing unit: one (design key, decoder name) pair — requests
+        # for the same design under different decoders never share a GEMM.
+        self._buckets: "dict[tuple[DesignKey, str], list[_Pending]]" = {}
+        self._timers: "dict[tuple[DesignKey, str], asyncio.TimerHandle]" = {}
+        self._breakers: "dict[tuple[DesignKey, str], CircuitBreaker]" = {}
         self._tasks: "set[asyncio.Task]" = set()
         self._draining = False
         self.stats = CoalescerStats()
 
-    def breaker(self, key: "DesignKey") -> CircuitBreaker:
-        """The (lazily created) circuit breaker guarding ``key``."""
-        b = self._breakers.get(key)
+    def _bucket_key(self, key: "DesignKey", decoder: "str | None") -> "tuple[DesignKey, str]":
+        return (key, self._pool.default_decoder if decoder is None else decoder)
+
+    def breaker(self, key: "DesignKey", decoder: "str | None" = None) -> CircuitBreaker:
+        """The (lazily created) circuit breaker guarding ``(key, decoder)``."""
+        bucket_key = self._bucket_key(key, decoder)
+        b = self._breakers.get(bucket_key)
         if b is None:
-            b = self._breakers[key] = CircuitBreaker(self.breaker_threshold, self.breaker_cooldown_s)
+            b = self._breakers[bucket_key] = CircuitBreaker(self.breaker_threshold, self.breaker_cooldown_s)
         return b
 
     def submit(self, request: DecodeRequest) -> "asyncio.Future[np.ndarray]":
@@ -265,7 +300,8 @@ class Coalescer:
                 f"admission queue full ({self.max_queue} requests pending); retry later",
                 request.request_id,
             )
-        breaker = self._breakers.get(request.key)
+        bucket_key = self._bucket_key(request.key, request.decoder)
+        breaker = self._breakers.get(bucket_key)
         if breaker is not None and not breaker.allow():
             self.stats.unavailable += 1
             raise ProtocolError(
@@ -277,30 +313,30 @@ class Coalescer:
         self.stats.admitted += 1
         self.stats.peak_admitted = max(self.stats.peak_admitted, self.stats.admitted)
         future: "asyncio.Future[np.ndarray]" = loop.create_future()
-        bucket = self._buckets.setdefault(request.key, [])
+        bucket = self._buckets.setdefault(bucket_key, [])
         bucket.append(_Pending(request, future))
         if len(bucket) >= self.max_batch:
-            self._flush(request.key)
+            self._flush(bucket_key)
         elif len(bucket) == 1:
-            # First request opens the batch window for its key; the timer
+            # First request opens the batch window for its bucket; the timer
             # is cancelled if the size trigger (or a drain) flushes first.
-            self._timers[request.key] = loop.call_later(self.window_s, self._flush, request.key)
+            self._timers[bucket_key] = loop.call_later(self.window_s, self._flush, bucket_key)
         return future
 
     # -- dispatch ---------------------------------------------------------------
 
-    def _flush(self, key: "DesignKey") -> None:
-        timer = self._timers.pop(key, None)
+    def _flush(self, bucket_key: "tuple[DesignKey, str]") -> None:
+        timer = self._timers.pop(bucket_key, None)
         if timer is not None:
             timer.cancel()
-        pending = self._buckets.pop(key, None)
+        pending = self._buckets.pop(bucket_key, None)
         if not pending:
             return
-        task = asyncio.get_running_loop().create_task(self._run_batch(key, pending))
+        task = asyncio.get_running_loop().create_task(self._run_batch(bucket_key, pending))
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
 
-    async def _run_batch(self, key: "DesignKey", pending: "list[_Pending]") -> None:
+    async def _run_batch(self, bucket_key: "tuple[DesignKey, str]", pending: "list[_Pending]") -> None:
         """Decode one micro-batch and demultiplex rows to the awaiting futures.
 
         A failed ``decode_batch`` evicts the key's decoder and retries on
@@ -309,26 +345,27 @@ class Coalescer:
         underneath.  The batch outcome (after retries) feeds the key's
         circuit breaker.
         """
+        key, decoder_name = bucket_key
         try:
             Y = np.stack([p.request.y for p in pending])
             ks = [p.request.k for p in pending]
             # Uniform weights keep the scalar-k selection path; mixed
             # weights use the ragged-k batch decode.  Both are row-wise
             # bit-identical to the single-signal decode (the protocol
-            # contract), so grouping by key alone is safe.
+            # contract), so grouping by (key, decoder) alone is safe.
             k_arg: "int | np.ndarray" = ks[0] if len(set(ks)) == 1 else np.asarray(ks, dtype=np.int64)
             loop = asyncio.get_running_loop()
             supports: "list[np.ndarray] | None" = None
             for attempt in range(self.decode_retries + 1):
                 try:
-                    decoder = await self._pool.get(key)
+                    decoder = await self._pool.get(key, decoder_name)
                 except ProtocolError as exc:
                     # A structured bad_key is the client's mistake, not
                     # service ill-health — it never trips the breaker.
                     self._fail(pending, exc)
                     return
                 except Exception as exc:  # noqa: BLE001 - isolate arbitrary compile failures
-                    self.breaker(key).record_failure()
+                    self.breaker(key, decoder_name).record_failure()
                     self.stats.breaker_opens = sum(b.opens for b in self._breakers.values())
                     self._fail(pending, ProtocolError("internal", f"compilation failed: {exc}"))
                     return
@@ -341,14 +378,14 @@ class Coalescer:
                     # A decoder that just failed is suspect: drop it so the
                     # retry (or the next batch) attaches fresh through the
                     # cache/store self-repair path.
-                    self._pool.evict(key)
+                    self._pool.evict(key, decoder_name)
                     if attempt >= self.decode_retries:
-                        self.breaker(key).record_failure()
+                        self.breaker(key, decoder_name).record_failure()
                         self.stats.breaker_opens = sum(b.opens for b in self._breakers.values())
                         self._fail(pending, ProtocolError("internal", f"decode failed: {exc}"))
                         return
             assert supports is not None
-            breaker = self._breakers.get(key)
+            breaker = self._breakers.get(bucket_key)
             if breaker is not None:
                 breaker.record_success()
             for p, support in zip(pending, supports):

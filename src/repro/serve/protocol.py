@@ -6,12 +6,18 @@ over both transports (:mod:`repro.serve.server` speaks it on a TCP socket
 and on a stdin/stdout pipe pair), and it is deliberately dependency-light:
 any language with a JSON codec and a line-buffered stream is a client.
 
-Request (all fields required)::
+Request (``decoder`` optional, everything else required)::
 
     {"request_id": <str|int>,
      "design_key": {<DesignKey canonical JSON fields>} | "<canonical JSON>",
      "y": [<int>, ...],          # the m observed query results
-     "k": <int>}                 # signal weight to decode at
+     "k": <int>,                 # signal weight to decode at
+     "decoder": "<name>"}        # registry name; defaults to "mn"
+
+``decoder`` selects the algorithm from the decoder registry
+(:func:`repro.designs.available_decoders`); the server coalesces
+micro-batches per ``(design_key, decoder)``, so one process serves every
+registered family.
 
 Success response::
 
@@ -103,6 +109,7 @@ class DecodeRequest:
     key: DesignKey
     y: np.ndarray  # (m,) int64, frozen
     k: int
+    decoder: str = "mn"  #: registry name; the coalescing key is (key, decoder)
 
 
 def _parse_request_id(raw: dict) -> "str | int":
@@ -126,12 +133,14 @@ def _parse_design_key(field: object, request_id: "str | int") -> DesignKey:
         raise ProtocolError("bad_key", str(exc), request_id) from exc
 
 
-def parse_request(line: "str | bytes") -> DecodeRequest:
+def parse_request(line: "str | bytes", *, default_decoder: str = "mn") -> DecodeRequest:
     """Validate one request line into a :class:`DecodeRequest`.
 
     Raises :class:`ProtocolError` — and only :class:`ProtocolError` — on
     any malformed input, carrying the offending ``request_id`` whenever
-    the line got far enough to have one.
+    the line got far enough to have one.  An absent ``decoder`` field
+    resolves to ``default_decoder`` (the server's configured default); a
+    present one must name a registered decoder.
 
     Examples
     --------
@@ -178,11 +187,32 @@ def parse_request(line: "str | bytes") -> DecodeRequest:
     if not 0 < k_field <= key.n:
         raise ProtocolError("bad_k", f"k={k_field} must satisfy 0 < k <= n={key.n}", request_id)
 
-    return DecodeRequest(request_id=request_id, key=key, y=y, k=k_field)
+    decoder_field = raw.get("decoder", default_decoder)
+    if not isinstance(decoder_field, str):
+        raise ProtocolError("bad_request", "decoder must be a string naming a registered decoder", request_id)
+    from repro.designs import available_decoders
+
+    if decoder_field not in available_decoders():
+        known = ", ".join(available_decoders())
+        raise ProtocolError("bad_request", f"unknown decoder {decoder_field!r}; available: {known}", request_id)
+
+    return DecodeRequest(request_id=request_id, key=key, y=y, k=k_field, decoder=decoder_field)
 
 
-def encode_success(request_id: "str | int", support: np.ndarray, *, n: int, k: int) -> str:
-    """One success response line (no trailing newline)."""
+def encode_success(
+    request_id: "str | int",
+    support: np.ndarray,
+    *,
+    n: int,
+    k: int,
+    decoder: "str | None" = None,
+) -> str:
+    """One success response line (no trailing newline).
+
+    ``decoder`` (when given) echoes the registry name the decode ran
+    under, so clients multiplexing decoders over one connection can audit
+    responses without correlating through their own request table.
+    """
     payload = {
         "request_id": request_id,
         "ok": True,
@@ -190,6 +220,8 @@ def encode_success(request_id: "str | int", support: np.ndarray, *, n: int, k: i
         "k": int(k),
         "support": [int(i) for i in support],
     }
+    if decoder is not None:
+        payload["decoder"] = decoder
     return json.dumps(payload, separators=(",", ":"))
 
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 import asyncio
 import signal
 import sys
+from collections.abc import Mapping
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
@@ -60,6 +61,7 @@ SERVE_MAX_BATCH_ENV = "REPRO_SERVE_MAX_BATCH"
 SERVE_MAX_QUEUE_ENV = "REPRO_SERVE_MAX_QUEUE"
 SERVE_BREAKER_THRESHOLD_ENV = "REPRO_SERVE_BREAKER_THRESHOLD"
 SERVE_BREAKER_COOLDOWN_ENV = "REPRO_SERVE_BREAKER_COOLDOWN_MS"
+SERVE_DECODER_ENV = "REPRO_SERVE_DECODER"
 
 
 @dataclass(frozen=True)
@@ -75,6 +77,10 @@ class ServeConfig:
     ``breaker_threshold`` consecutive batch failures for one key open its
     circuit breaker for ``breaker_cooldown_ms`` (requests fast-fail with
     ``unavailable`` until a half-open probe succeeds).
+
+    ``default_decoder`` names the registry decoder a request without an
+    explicit ``decoder`` field runs under (``REPRO_SERVE_DECODER`` sets it
+    from the environment via the CLI).
     """
 
     batch_window_ms: float = 2.0
@@ -86,6 +92,7 @@ class ServeConfig:
     decode_retries: int = 1
     breaker_threshold: int = 5
     breaker_cooldown_ms: float = 5000.0
+    default_decoder: str = "mn"
 
     def __post_init__(self) -> None:
         if self.batch_window_ms < 0:
@@ -100,6 +107,8 @@ class ServeConfig:
             raise ValueError("breaker_threshold must be positive")
         if self.breaker_cooldown_ms < 0:
             raise ValueError("breaker_cooldown_ms must be non-negative")
+        if not self.default_decoder or not isinstance(self.default_decoder, str):
+            raise ValueError("default_decoder must be a non-empty string")
 
     @property
     def window_s(self) -> float:
@@ -120,8 +129,10 @@ class DecodeServer:
     Parameters
     ----------
     decoder:
-        Any :class:`~repro.designs.protocol.Decoder` — the server never
-        imports a concrete decoder class.
+        Any :class:`~repro.designs.protocol.Decoder`, or a mapping of
+        registry names to decoders for a multi-decoder server — the
+        server never imports a concrete decoder class.  A bare decoder is
+        served under the ``"mn"`` name for back-compat.
     config:
         The :class:`ServeConfig` knobs.
     cache, store:
@@ -132,7 +143,7 @@ class DecodeServer:
 
     def __init__(
         self,
-        decoder: "Decoder",
+        decoder: "Decoder | Mapping[str, Decoder]",
         config: "ServeConfig | None" = None,
         *,
         cache: "DesignCache | None" = None,
@@ -172,7 +183,7 @@ class DecodeServer:
     async def _process_line(self, line: bytes, send) -> None:
         """One request line → exactly one response line, never an exception."""
         try:
-            request = parse_request(line)
+            request = parse_request(line, default_decoder=self.config.default_decoder)
         except ProtocolError as exc:
             await send(encode_error(exc.request_id, exc.code, exc.message))
             return
@@ -189,7 +200,7 @@ class DecodeServer:
         except ProtocolError as exc:
             await send(encode_error(request.request_id, exc.code, exc.message))
             return
-        await send(encode_success(request.request_id, support, n=request.key.n, k=request.k))
+        await send(encode_success(request.request_id, support, n=request.key.n, k=request.k, decoder=request.decoder))
 
     async def handle_connection(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
         """Serve one NDJSON stream until EOF (shared by TCP and stdio)."""
@@ -308,7 +319,7 @@ class DecodeServer:
 
 
 async def serve_forever(
-    decoder: "Decoder",
+    decoder: "Decoder | Mapping[str, Decoder]",
     config: "ServeConfig | None" = None,
     *,
     stdio: bool = False,

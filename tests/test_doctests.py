@@ -15,6 +15,7 @@ MODULES_WITH_DOCTESTS = [
     "repro.designs.cache",
     "repro.designs.compiled",
     "repro.designs.protocol",
+    "repro.designs.registry",
     "repro.designs.store",
     "repro.faults.plan",
     "repro.serve.breaker",

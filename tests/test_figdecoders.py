@@ -1,0 +1,87 @@
+"""Tests for the decoder-comparison phase diagram (figdecoders)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.grid import run_batched_point
+from repro.experiments.figdecoders import DEFAULT_DECODER_GRID, run_figdecoders
+from repro.experiments.fignoise import DEFAULT_M_FACTOR, THETA_SEED_STRIDE
+from repro.experiments.io import read_csv, results_dir
+from repro.core.thresholds import m_mn_threshold
+
+THETAS = (0.2, 0.3)
+N, M, TRIALS, SEED = 300, 160, 5, 3
+
+
+class TestStatisticalContract:
+    """Cells are paired: streams keyed by (seed, point), never the decoder."""
+
+    def test_mn_column_bit_identical_to_batched_point(self):
+        series = run_figdecoders(
+            n=N, decoders=("mn", "comp"), thetas=THETAS, m=M, trials=TRIALS, root_seed=SEED
+        )
+        mn = next(s for s in series if s.decoder == "mn")
+        for ti, theta in enumerate(THETAS):
+            ref = run_batched_point(
+                N, M, theta=theta, trials=TRIALS, root_seed=SEED + THETA_SEED_STRIDE * ti, point_id=0
+            )
+            assert mn.points[ti].success.mean == float(np.mean([bool(s) for s in ref.success]))
+            assert mn.points[ti].overlap.mean == float(np.mean(ref.overlap))
+
+    def test_workers_do_not_change_results(self):
+        kwargs = dict(n=N, decoders=("mn", "dd"), thetas=(0.3,), m=M, trials=TRIALS, root_seed=SEED)
+        serial = run_figdecoders(workers=1, **kwargs)
+        fanned = run_figdecoders(workers=2, **kwargs)
+        for s, f in zip(serial, fanned):
+            assert s.decoder == f.decoder
+            for ps, pf in zip(s.points, f.points):
+                assert ps == pf
+
+    def test_default_m_is_the_mn_operating_point(self):
+        series = run_figdecoders(n=N, decoders=("mn",), thetas=(0.2,), trials=2, root_seed=SEED)
+        expected = int(np.ceil(DEFAULT_M_FACTOR * m_mn_threshold(N, 0.2)))
+        assert series[0].points[0].m == expected
+
+
+class TestValidation:
+    def test_unknown_decoder_lists_menu(self):
+        with pytest.raises(ValueError, match="martian.*mn"):
+            run_figdecoders(n=N, decoders=("mn", "martian"), thetas=(0.2,), trials=2)
+
+    def test_empty_decoder_grid_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            run_figdecoders(n=N, decoders=(), thetas=(0.2,), trials=2)
+
+    def test_default_grid_is_the_full_registry_comparison(self):
+        assert DEFAULT_DECODER_GRID == ("mn", "lp", "omp", "amp", "comp", "dd")
+
+
+class TestOutputs:
+    def test_series_shape_and_critical_theta(self):
+        series = run_figdecoders(
+            n=N, decoders=("mn", "comp"), thetas=THETAS, m=M, trials=TRIALS, root_seed=SEED
+        )
+        assert [s.decoder for s in series] == ["mn", "comp"]
+        for s in series:
+            assert len(s.points) == len(THETAS)
+            assert all(0.0 <= p.success.mean <= 1.0 for p in s.points)
+        # critical_theta: first θ under the floor, None when never under it.
+        always_on = series[0]
+        assert always_on.critical_theta(floor=0.0) is None
+        assert always_on.critical_theta(floor=1.1) == THETAS[0]
+
+    def test_csv_written(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("POOLED_REPRO_RESULTS", str(tmp_path))
+        run_figdecoders(
+            n=N,
+            decoders=("mn", "dd"),
+            thetas=(0.2,),
+            m=M,
+            trials=TRIALS,
+            root_seed=SEED,
+            csv_name="figdecoders_test",
+        )
+        headers, rows = read_csv(results_dir() / "figdecoders_test.csv")
+        assert headers[:6] == ["decoder", "theta", "n", "m", "k", "success"]
+        assert sorted(r[0] for r in rows) == ["dd", "mn"]
+        assert all(int(r[11]) == TRIALS for r in rows)

@@ -135,10 +135,10 @@ class TestDecoderPool:
             DecoderPool(_FakeDecoder(), max_designs=0)
 
 
-def _request(key, y, k, request_id):
+def _request(key, y, k, request_id, decoder="mn"):
     y = np.asarray(y, dtype=np.int64)
     y.setflags(write=False)
-    return DecodeRequest(request_id=request_id, key=key, y=y, k=k)
+    return DecodeRequest(request_id=request_id, key=key, y=y, k=k, decoder=decoder)
 
 
 class TestCoalescerAdmission:
@@ -244,6 +244,105 @@ class TestCoalescerBatching:
             assert sb.tolist() == offline_b
             assert coalescer.stats.batches == 2
             assert coalescer.stats.max_batch_seen == 1
+
+        asyncio.run(run())
+
+
+class TestMultiDecoder:
+    """One pool/coalescer serving several registry decoders, keyed (key, name)."""
+
+    def test_pool_keeps_separate_entries_per_decoder(self):
+        async def run():
+            decoders = {"mn": _FakeDecoder(), "omp": _FakeDecoder()}
+            pool = DecoderPool(decoders, max_designs=4)
+            assert pool.decoder_names() == ("mn", "omp")
+            assert pool.default_decoder == "mn"
+            a = await pool.get(KEY_A, "mn")
+            b = await pool.get(KEY_A, "omp")
+            assert a is not b
+            assert len(pool) == 2
+            assert decoders["mn"].compiles == 1
+            assert decoders["omp"].compiles == 1
+            assert await pool.get(KEY_A) is a  # None resolves to the default
+
+        asyncio.run(run())
+
+    def test_pool_rejects_unserved_decoder_name(self):
+        async def run():
+            pool = DecoderPool({"mn": _FakeDecoder()})
+            with pytest.raises(ProtocolError) as err:
+                await pool.get(KEY_A, "martian")
+            assert err.value.code == "bad_request"
+            assert "mn" in err.value.message  # the menu of served names
+
+        asyncio.run(run())
+
+    def test_pool_rejects_empty_mapping(self):
+        with pytest.raises(ValueError):
+            DecoderPool({})
+
+    def test_bare_decoder_serves_under_mn(self):
+        async def run():
+            pool = DecoderPool(_FakeDecoder())
+            assert pool.decoder_names() == ("mn",)
+            await pool.get(KEY_A, "mn")  # explicit name hits the wrapped entry
+            assert len(pool) == 1
+
+        asyncio.run(run())
+
+    def test_pool_evict_is_per_decoder(self):
+        async def run():
+            pool = DecoderPool({"mn": _FakeDecoder(), "omp": _FakeDecoder()}, max_designs=4)
+            await pool.get(KEY_A, "mn")
+            await pool.get(KEY_A, "omp")
+            assert pool.evict(KEY_A, "omp")
+            assert len(pool) == 1
+            assert not pool.evict(KEY_A, "omp")  # already gone
+            assert pool.evict(KEY_A)  # default name: the mn entry
+
+        asyncio.run(run())
+
+    def test_same_key_different_decoders_never_share_a_batch(self):
+        async def run():
+            pool = DecoderPool({"mn": _FakeDecoder(), "omp": _FakeDecoder()})
+            coalescer = Coalescer(pool, window_s=0.01, max_batch=64)
+            y = [0] * KEY_A.m
+            await asyncio.gather(
+                coalescer.submit(_request(KEY_A, y, 2, "a", decoder="mn")),
+                coalescer.submit(_request(KEY_A, y, 2, "b", decoder="omp")),
+            )
+            assert coalescer.stats.batches == 2
+            assert coalescer.stats.max_batch_seen == 1
+
+        asyncio.run(run())
+
+    def test_breaker_is_per_decoder_with_bare_key_back_compat(self):
+        async def run():
+            coalescer = Coalescer(DecoderPool({"mn": _FakeDecoder(), "omp": _FakeDecoder()}))
+            assert coalescer.breaker(KEY_A) is coalescer.breaker(KEY_A, "mn")
+            assert coalescer.breaker(KEY_A, "omp") is not coalescer.breaker(KEY_A, "mn")
+
+        asyncio.run(run())
+
+    def test_registry_decoders_serve_their_own_results(self):
+        """mn and omp coalesce separately and each returns its own decode."""
+        from repro.designs import make_decoder
+
+        async def run():
+            pool = DecoderPool({name: make_decoder(name) for name in ("mn", "omp")})
+            coalescer = Coalescer(pool, window_s=0.01, max_batch=64)
+            compiled = compile_from_key(KEY_A)
+            sigma = random_signal(KEY_A.n, 4, np.random.default_rng(44))
+            y = compiled.query_results(sigma)
+            s_mn, s_omp = await asyncio.gather(
+                coalescer.submit(_request(KEY_A, y, 4, "a", decoder="mn")),
+                coalescer.submit(_request(KEY_A, y, 4, "b", decoder="omp")),
+            )
+            expected_mn = np.flatnonzero(make_decoder("mn").compile(compiled).decode(y, 4))
+            expected_omp = np.flatnonzero(make_decoder("omp").compile(compiled).decode(y, 4))
+            assert s_mn.tolist() == expected_mn.tolist()
+            assert s_omp.tolist() == expected_omp.tolist()
+            assert coalescer.stats.batches == 2
 
         asyncio.run(run())
 

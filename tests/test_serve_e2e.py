@@ -37,8 +37,8 @@ def make_cases(key, k, count, seed0):
     return cases
 
 
-def spawn_server(*extra_args):
-    env = dict(os.environ, PYTHONPATH="src")
+def spawn_server(*extra_args, env_extra=None):
+    env = dict(os.environ, PYTHONPATH="src", **(env_extra or {}))
     return subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "serve", *extra_args],
         stdin=subprocess.PIPE,
@@ -125,6 +125,73 @@ class TestTcpEndToEnd:
             assert unparseable["error"]["code"] == "bad_request"
             assert (bad_key["request_id"], bad_key["error"]["code"]) == ("bk", "bad_key")
             assert good["ok"] and good["support"] == offline  # server survived the garbage
+            proc.send_signal(signal.SIGTERM)
+            finish(proc, expect_code=0)
+        finally:
+            if proc.poll() is None:  # pragma: no cover
+                proc.kill()
+                proc.wait()
+
+
+class TestMultiDecoderEndToEnd:
+    def test_one_process_serves_mn_omp_and_comp(self):
+        """The ``decoder`` request field selects the family, per request."""
+        from repro.designs import make_decoder
+
+        proc = spawn_server("--port", "0", "--batch-window-ms", "1")
+        try:
+            host, port = read_banner(proc)
+            compiled = compile_from_key(KEY_A)
+            sigma = random_signal(KEY_A.n, 4, np.random.default_rng(5000))
+            y = compiled.query_results(sigma)
+            offline = {
+                name: np.flatnonzero(make_decoder(name).compile(compiled).decode(y, 4)).tolist()
+                for name in ("mn", "omp", "comp")
+            }
+
+            async def drive():
+                async with await ServeClient.connect(host, port) as client:
+                    named = await asyncio.gather(
+                        *[client.decode(KEY_A, y, 4, decoder=name, request_id=name) for name in offline]
+                    )
+                    default = await client.decode(KEY_A, y, 4, request_id="default")
+                    bad = await client.decode(KEY_A, y, 4, decoder="martian", request_id="bad")
+                    return named, default, bad
+
+            named, default, bad = asyncio.run(drive())
+            for response, (name, expected) in zip(named, offline.items()):
+                assert response["ok"], response
+                assert response["decoder"] == name  # the response echoes the family
+                assert response["support"] == expected  # identical to the offline decode
+            # An absent field serves the configured default (mn) — and says so.
+            assert default["ok"] and default["decoder"] == "mn"
+            assert default["support"] == offline["mn"]
+            assert not bad["ok"]
+            assert bad["error"]["code"] == "bad_request"
+            assert "martian" in bad["error"]["message"]
+
+            proc.send_signal(signal.SIGTERM)
+            finish(proc, expect_code=0)
+        finally:
+            if proc.poll() is None:  # pragma: no cover
+                proc.kill()
+                proc.wait()
+
+    def test_decoder_env_sets_the_default(self):
+        env_override = {"REPRO_SERVE_DECODER": "comp"}
+        proc = spawn_server("--port", "0", "--batch-window-ms", "1", env_extra=env_override)
+        try:
+            host, port = read_banner(proc)
+            compiled = compile_from_key(KEY_A)
+            sigma = random_signal(KEY_A.n, 3, np.random.default_rng(6000))
+            y = compiled.query_results(sigma)
+
+            async def drive():
+                async with await ServeClient.connect(host, port) as client:
+                    return await client.decode(KEY_A, y, 3, request_id="envd")
+
+            response = asyncio.run(drive())
+            assert response["ok"] and response["decoder"] == "comp"
             proc.send_signal(signal.SIGTERM)
             finish(proc, expect_code=0)
         finally:

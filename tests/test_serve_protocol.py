@@ -129,11 +129,49 @@ class TestParseRequest:
         assert err.value.request_id == "r1"
 
 
+class TestDecoderField:
+    """The optional ``decoder`` request field (registry-validated)."""
+
+    def test_absent_resolves_to_default(self):
+        assert parse_request(make_line()).decoder == "mn"
+        assert parse_request(make_line(), default_decoder="omp").decoder == "omp"
+
+    def test_present_overrides_default(self):
+        req = parse_request(make_line(decoder="comp"), default_decoder="omp")
+        assert req.decoder == "comp"
+
+    def test_every_registered_name_parses(self):
+        from repro.designs import available_decoders
+
+        for name in available_decoders():
+            assert parse_request(make_line(decoder=name)).decoder == name
+
+    def test_unknown_decoder_lists_menu(self):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(make_line(decoder="martian"))
+        assert err.value.code == "bad_request"
+        assert "martian" in err.value.message
+        assert "mn" in err.value.message  # the menu of registered names
+        assert err.value.request_id == "r1"
+
+    @pytest.mark.parametrize("bad", [3, True, None, ["omp"], {"name": "omp"}])
+    def test_non_string_decoder(self, bad):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(make_line(decoder=bad))
+        assert err.value.code == "bad_request"
+        assert err.value.request_id == "r1"
+
+
 class TestResponses:
     def test_success_round_trip(self):
         line = encode_success("r9", np.array([2, 5, 11]), n=KEY.n, k=3)
         resp = parse_response(line)
         assert resp == {"request_id": "r9", "ok": True, "n": KEY.n, "k": 3, "support": [2, 5, 11]}
+
+    def test_success_echoes_decoder_when_given(self):
+        line = encode_success("r9", np.array([2]), n=KEY.n, k=1, decoder="omp")
+        assert parse_response(line)["decoder"] == "omp"
+        assert "decoder" not in parse_response(encode_success("r9", np.array([2]), n=KEY.n, k=1))
 
     def test_error_round_trip_with_null_id(self):
         line = encode_error(None, "bad_request", "not json")
