@@ -1,0 +1,154 @@
+"""Fleet tier: remote-warm serving vs cold compile, first-touch pull priced (tracked).
+
+The fleet tier's economic claim is the store's, one hop further out: a
+machine that has **never compiled a design** joins the fleet, pulls the
+blob once through the verified read-through path, and from then on serves
+every process at local-warm speed — with zero compiles anywhere on that
+machine, ever.  Measured at paper-panel scale (``n = 10^4``) inside child
+processes, exactly like ``bench_design_store.py``:
+
+* **cold** — a fresh process compiles from the key and decodes;
+* **pull** — a fresh process with an *empty* local store reads through
+  the fleet tier (fetch → blob hash vs the signed manifest → unpack →
+  per-file manifest at attach) and decodes: machine B's first touch;
+* **remote-warm** — a fresh process on the pulled-to machine, fleet
+  still attached, decodes off the warmed L2: machine B's steady state.
+
+Acceptance: remote-warm >= 3x cold (the local-warm bar is 5x; the fleet
+hit path must add nothing on top of a plain L2 attach), bit-identical
+supports everywhere, and zero compiles on machine B across every child.
+The first touch is *priced, not asserted*: the pull moves and verifies
+~48MB of blob (one copy, two hash passes, one install write), which is
+I/O-bound and costs a few cold compiles at this artifact size — the
+recorded ``pull_x`` tracks that ratio across PRs, and the tier earns it
+back on every subsequent process.  Fleet counters ride along in the JSON
+payload so hit/corruption rates are tracked across PRs.
+"""
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.signal import random_signals
+from repro.designs import DesignKey, DesignStore, LocalDirRemote, compile_from_key
+
+N = 10_000
+M = 600
+K = 16
+SEED = 2022
+
+KEY = DesignKey.for_stream(N, M, root_seed=SEED, batch_queries=256)
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+#: The measured child.  ``pull`` starts from an empty local store root and
+#: must read through the fleet tier; ``remote-warm`` reuses the pulled-to
+#: root with the fleet still attached and must hit L2 without touching the
+#: remote; ``cold`` compiles from key.  Everything after interpreter and
+#: import startup is timed inside the child.
+_CHILD = r"""
+import json, sys, time
+import numpy as np
+from repro.core.mn import MNDecoder
+from repro.designs import DesignKey, DesignStore, compile_from_key
+
+mode, remote_root, store_root, y_path = sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4]
+n, m, k, seed = (int(a) for a in sys.argv[5:9])
+key = DesignKey.for_stream(n, m, root_seed=seed, batch_queries=256)
+y = np.load(y_path)
+t0 = time.perf_counter()
+if mode == "cold":
+    compiled = compile_from_key(key)
+else:
+    store = DesignStore(store_root, remote=remote_root, remote_mode="readonly")
+    compiled = store.get(key)
+    assert compiled is not None, f"store miss in {mode} child"
+    if mode == "pull":
+        assert store.stats.remote_hits == 1, "pull child did not read through"
+    else:
+        assert store.stats.remote_hits == 0 and store.stats.remote_misses == 0, "remote-warm child touched the remote"
+sigma_hat = MNDecoder().compile(compiled).decode(y, k)
+seconds = time.perf_counter() - t0
+print(json.dumps({"seconds": seconds, "support": np.flatnonzero(sigma_hat).tolist()}))
+"""
+
+
+def _run_child(mode: str, remote_root: Path, store_root: Path, y_path: Path) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, mode, str(remote_root), str(store_root), str(y_path), str(N), str(M), str(K), str(SEED)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+class TestRemoteWarmDecode:
+    def test_remote_warm_serving_beats_cold_compile(self, benchmark, repro_seed, tmp_path):
+        remote_root = tmp_path / "remote"
+        publisher = DesignStore(tmp_path / "publisher", remote=LocalDirRemote(remote_root))
+        publisher.get_or_compile(KEY, lambda: compile_from_key(KEY))  # machine A: compile + write-through
+
+        y_path = tmp_path / "y.npy"
+        compiled = compile_from_key(KEY)
+        np.save(y_path, compiled.query_results(random_signals(N, K, 1, np.random.default_rng(7)))[0])
+
+        rounds = 3
+        machine_b = tmp_path / "machine-b"
+        cold = [_run_child("cold", remote_root, tmp_path / f"unused-{i}", y_path) for i in range(rounds)]
+        # First touch: every pull round reads through into a fresh root; the
+        # first one warms machine B's store for the steady-state rounds.
+        pull = [_run_child("pull", remote_root, machine_b if i == 0 else tmp_path / f"scratch-{i}", y_path) for i in range(rounds)]
+        warm = [_run_child("remote-warm", remote_root, machine_b, y_path) for _ in range(rounds)]
+        cold_s = float(np.median([r["seconds"] for r in cold]))
+        pull_s = float(np.median([r["seconds"] for r in pull]))
+        warm_s = float(np.median([r["seconds"] for r in warm]))
+        speedup = cold_s / warm_s
+
+        # The tracked record: one full remote-warm child (interpreter
+        # startup included — the honest fleet-machine serving cost).
+        benchmark.pedantic(lambda: _run_child("remote-warm", remote_root, machine_b, y_path), rounds=1, iterations=1)
+        benchmark.extra_info.update(
+            {
+                "n": N,
+                "m": M,
+                "k": K,
+                "backend": "subprocess",
+                "remote": "local-dir",
+                "cold_s": round(cold_s, 5),
+                "pull_s": round(pull_s, 5),
+                "remote_warm_s": round(warm_s, 5),
+                "speedup_x": round(speedup, 2),
+                "pull_x": round(pull_s / cold_s, 2),
+                "publisher_stats": dataclasses.asdict(publisher.stats),
+                "publisher_cumulative": publisher.persistent_stats(),
+                "machine_b_cumulative": DesignStore(machine_b).persistent_stats(),
+            }
+        )
+        print(
+            f"\nfleet: cold compile+decode {cold_s * 1e3:.1f}ms vs remote-warm serving {warm_s * 1e3:.1f}ms -> {speedup:.1f}x "
+            f"(first-touch pull {pull_s * 1e3:.1f}ms = {pull_s / cold_s:.1f}x cold)"
+        )
+
+        # Bit-identical supports across every child: cold, pull, remote-warm.
+        supports = {tuple(r["support"]) for r in cold + pull + warm}
+        assert len(supports) == 1
+        # The fleet PR's acceptance contract at n = 10^4: a remote-warmed
+        # machine serves >= 3x faster than a cold compile, fleet attached.
+        assert speedup >= 3.0
+        # Exactly one compile and one remote publish ever happened, on the
+        # publisher; machine B read through once and never compiled or
+        # published anything (its cumulative counters prove it).
+        assert publisher.persistent_stats()["publishes"] == 1
+        assert publisher.persistent_stats()["remote_publishes"] == 1
+        b_stats = DesignStore(machine_b).persistent_stats()
+        assert b_stats["publishes"] == 0
+        assert b_stats["remote_hits"] == 1

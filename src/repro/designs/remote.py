@@ -1,0 +1,559 @@
+"""The fleet tier (L3): remote transports and the signed fleet manifest.
+
+:class:`~repro.designs.store.DesignStore` shares compilations across the
+processes of **one machine**; compilations still die at the filesystem
+boundary.  This module extends the content-addressed store across
+machines: a :class:`RemoteTier` transport holds one **blob** per store
+entry (a deterministic uncompressed tar of the entry's payload files),
+plus a single signed ``fleet-manifest.json`` describing the corpus.  The
+store layers it as L3 — read-through on a local miss, write-through after
+a local compile, and an :meth:`~repro.designs.store.DesignStore.anti_entropy`
+sweep that converges divergent replicas without coordination.
+
+Design rules (the self-stabilising shape):
+
+* **any replica may be stale or corrupt at any moment** — every fetched
+  blob is verified against the fleet manifest's SHA-256 before unpack,
+  and the unpacked entry is verified again against its own per-file
+  manifest at attach, so a torn upload, a bit-flipped blob or a lying
+  manifest can only ever produce a *miss*, never a wrong decode;
+* **manifests are signed, not trusted** — when ``REPRO_STORE_FLEET_KEY``
+  configures an HMAC key, a manifest that fails verification is rejected
+  wholesale (and counted); the store then falls back to the transport's
+  listing plus full per-entry verification;
+* **convergence over coordination** — transports need only atomic
+  complete-or-absent blob publication (a rename for the directory
+  transport, object PUT semantics for S3); racing publishers of one
+  digest write bit-identical bytes by the key invariant, and
+  ``anti_entropy`` repairs a manifest left stale by a crashed publisher.
+
+Two transports ship here:
+
+* :class:`LocalDirRemote` — a plain directory, doubling as an NFS/rsync
+  target and as the chaos-test double;
+* :class:`S3Remote` — an S3-compatible stub speaking the minimal
+  ``get/put/list/head`` object surface; it binds to ``boto3`` when
+  available, or to any injected duck-typed client (the tests use an
+  in-memory fake), so the wire shape is exercised without the dependency.
+
+Examples
+--------
+>>> import tempfile
+>>> from repro.designs.remote import FleetManifest
+>>> manifest = FleetManifest(generation=3)
+>>> FleetManifest.from_bytes(manifest.to_bytes(b"key"), b"key").generation
+3
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import os
+import re
+import shutil
+import tarfile
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Protocol, runtime_checkable
+
+from repro.designs.compiled import DesignKey
+
+__all__ = [
+    "FLEET_REMOTE_ENV",
+    "FLEET_KEY_ENV",
+    "MANIFEST_NAME",
+    "MANIFEST_FORMAT_VERSION",
+    "RemoteError",
+    "ManifestError",
+    "RemoteStat",
+    "RemoteTier",
+    "LocalDirRemote",
+    "S3Remote",
+    "FleetManifest",
+    "pack_entry",
+    "unpack_entry",
+    "sha256_file",
+    "parse_remote_spec",
+    "resolve_remote_tier",
+    "resolve_fleet_key",
+]
+
+#: Environment variable naming the ambient remote tier.  A plain path is a
+#: :class:`LocalDirRemote`; an ``s3://bucket/prefix`` URL is an
+#: :class:`S3Remote`.  Unset (or blank) leaves every store fleet-free —
+#: bit-identical to the remote tier never existing.
+FLEET_REMOTE_ENV = "REPRO_DESIGN_STORE_REMOTE"
+
+#: Environment variable holding the fleet's shared HMAC key (any
+#: non-empty string).  Set, every ``fleet-manifest.json`` is signed on
+#: write and verified on read; a manifest failing verification is
+#: rejected wholesale.  Unset, manifests are written unsigned and
+#: accepted unverified (blob and entry digests still guard all content).
+FLEET_KEY_ENV = "REPRO_STORE_FLEET_KEY"
+
+#: The single remote manifest object describing the fleet corpus.
+MANIFEST_NAME = "fleet-manifest.json"
+
+#: Manifest wire format; bumped on layout changes so a newer manifest is
+#: rejected (and repaired by anti-entropy) instead of being misread.
+MANIFEST_FORMAT_VERSION = 1
+
+#: Remote blob object suffix (one deterministic tar per entry digest).
+BLOB_SUFFIX = ".tar"
+
+_HEX64 = re.compile(r"^[0-9a-f]{64}$")
+
+
+class RemoteError(RuntimeError):
+    """A transport-level failure (unreachable remote, refused write)."""
+
+
+class ManifestError(ValueError):
+    """A fleet manifest that failed parsing, validation or signature check."""
+
+
+def sha256_file(path: "str | Path") -> str:
+    """Streaming SHA-256 of one file (1 MiB chunks; no full-file load)."""
+    h = hashlib.sha256()
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class RemoteStat:
+    """Existence probe result for one remote blob."""
+
+    digest: str
+    nbytes: int
+
+
+@runtime_checkable
+class RemoteTier(Protocol):
+    """The transport surface the store's fleet tier programs against.
+
+    Implementations must make :meth:`publish` complete-or-absent (a
+    partially uploaded blob may never become fetchable under its digest)
+    and :meth:`fetch` raise ``KeyError`` for an absent digest.  The
+    manifest accessors move opaque bytes; signing and validation live in
+    :class:`FleetManifest`, not in transports.  :meth:`lock` serialises
+    manifest read-modify-write where the transport can (advisory;
+    transports without locking yield immediately — last-writer-wins,
+    repaired by anti-entropy).
+    """
+
+    def fetch(self, digest: str, dest: "str | Path") -> Path:
+        """Download the blob for ``digest`` into the file ``dest``."""
+        ...  # pragma: no cover - protocol
+
+    def publish(self, digest: str, path: "str | Path") -> None:
+        """Upload the local blob file ``path`` under ``digest``."""
+        ...  # pragma: no cover - protocol
+
+    def list(self) -> "list[str]":
+        """Digests of every complete blob the remote holds."""
+        ...  # pragma: no cover - protocol
+
+    def stat(self, digest: str) -> "RemoteStat | None":
+        """Size probe for one digest (``None`` when absent)."""
+        ...  # pragma: no cover - protocol
+
+    def get_manifest(self) -> "bytes | None":
+        """The raw fleet manifest bytes (``None`` when never written)."""
+        ...  # pragma: no cover - protocol
+
+    def put_manifest(self, data: bytes) -> None:
+        """Replace the fleet manifest atomically."""
+        ...  # pragma: no cover - protocol
+
+    def lock(self):
+        """Context manager serialising manifest updates (best effort)."""
+        ...  # pragma: no cover - protocol
+
+
+try:  # POSIX advisory locking; degraded (still convergent) elsewhere
+    import fcntl
+
+    _HAS_FLOCK = True
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+    _HAS_FLOCK = False
+
+
+class LocalDirRemote:
+    """Directory-backed remote: blobs under ``blobs/``, manifest at the root.
+
+    Point it at an NFS mount or an rsync'd directory and a fleet of
+    machines shares one corpus; point it at a tmpdir and it is the chaos
+    suite's transport double.  Publication is tmp-write + ``os.replace``,
+    so readers only ever see complete blobs; manifest updates hold an
+    advisory ``flock`` so concurrent syncs serialise their
+    read-modify-write.
+    """
+
+    def __init__(self, root: "str | Path"):
+        self.root = Path(root)
+        self._blobs = self.root / "blobs"
+        self._blobs.mkdir(parents=True, exist_ok=True)
+
+    def _blob_path(self, digest: str) -> Path:
+        return self._blobs / f"{digest}{BLOB_SUFFIX}"
+
+    def fetch(self, digest: str, dest: "str | Path") -> Path:
+        src = self._blob_path(digest)
+        if not src.is_file():
+            raise KeyError(digest)
+        dest = Path(dest)
+        shutil.copyfile(src, dest)
+        return dest
+
+    def publish(self, digest: str, path: "str | Path") -> None:
+        dest = self._blob_path(digest)
+        tmp = dest.with_name(f".up-{os.getpid()}-{uuid.uuid4().hex[:8]}")
+        try:
+            shutil.copyfile(path, tmp)
+            os.replace(tmp, dest)  # complete-or-absent
+        except OSError as exc:
+            tmp.unlink(missing_ok=True)
+            raise RemoteError(f"remote publish of {digest[:12]} failed: {exc}") from exc
+
+    def list(self) -> "list[str]":
+        try:
+            names = [p.name for p in self._blobs.iterdir()]
+        except OSError:
+            return []
+        return sorted(n[: -len(BLOB_SUFFIX)] for n in names if n.endswith(BLOB_SUFFIX) and not n.startswith("."))
+
+    def stat(self, digest: str) -> "RemoteStat | None":
+        try:
+            return RemoteStat(digest=digest, nbytes=self._blob_path(digest).stat().st_size)
+        except OSError:
+            return None
+
+    def get_manifest(self) -> "bytes | None":
+        try:
+            return (self.root / MANIFEST_NAME).read_bytes()
+        except OSError:
+            return None
+
+    def put_manifest(self, data: bytes) -> None:
+        tmp = self.root / f".manifest-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        try:
+            tmp.write_bytes(data)
+            os.replace(tmp, self.root / MANIFEST_NAME)
+        except OSError as exc:
+            tmp.unlink(missing_ok=True)
+            raise RemoteError(f"remote manifest write failed: {exc}") from exc
+
+    @contextmanager
+    def lock(self) -> Iterator[None]:
+        fd = os.open(self.root / ".fleet-lock", os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            if _HAS_FLOCK:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LocalDirRemote({str(self.root)!r})"
+
+
+class S3Remote:
+    """S3-compatible transport stub: ``s3://bucket/prefix``.
+
+    Speaks the minimal object surface (``get_object`` / ``put_object`` /
+    ``list_objects_v2`` / ``head_object``).  A real ``boto3`` client is
+    bound lazily when installed; any duck-typed ``client=`` works (the
+    tests inject an in-memory fake), so the wire shape stays exercised in
+    environments without the dependency.  Object stores have no advisory
+    locks, so :meth:`lock` is a no-op — manifest updates are
+    last-writer-wins and anti-entropy repairs any lost update.
+    """
+
+    def __init__(self, bucket: str, prefix: str = "", *, client=None):
+        if not bucket:
+            raise ValueError("S3 remote needs a bucket name")
+        if client is None:
+            try:
+                import boto3  # type: ignore[import-not-found]
+            except ImportError as exc:  # pragma: no cover - boto3 absent in CI
+                raise RemoteError(
+                    "S3 remote requires boto3 (not installed); inject a client= or use a directory remote"
+                ) from exc
+            client = boto3.client("s3")  # pragma: no cover - needs credentials
+        self.bucket = bucket
+        self.prefix = prefix.strip("/")
+        self.client = client
+
+    def _key(self, name: str) -> str:
+        return f"{self.prefix}/{name}" if self.prefix else name
+
+    def _blob_key(self, digest: str) -> str:
+        return self._key(f"blobs/{digest}{BLOB_SUFFIX}")
+
+    def fetch(self, digest: str, dest: "str | Path") -> Path:
+        try:
+            body = self.client.get_object(Bucket=self.bucket, Key=self._blob_key(digest))["Body"]
+        except Exception as exc:  # object stores raise service-specific errors
+            raise KeyError(digest) from exc
+        dest = Path(dest)
+        with open(dest, "wb") as f:
+            shutil.copyfileobj(body, f)
+        return dest
+
+    def publish(self, digest: str, path: "str | Path") -> None:
+        try:
+            with open(path, "rb") as f:
+                self.client.put_object(Bucket=self.bucket, Key=self._blob_key(digest), Body=f.read())
+        except OSError as exc:
+            raise RemoteError(f"remote publish of {digest[:12]} failed: {exc}") from exc
+
+    def list(self) -> "list[str]":
+        prefix = self._key("blobs/")
+        digests: "list[str]" = []
+        token = None
+        while True:
+            kwargs = {"Bucket": self.bucket, "Prefix": prefix}
+            if token:
+                kwargs["ContinuationToken"] = token
+            page = self.client.list_objects_v2(**kwargs)
+            for obj in page.get("Contents", []):
+                name = obj["Key"][len(prefix):]
+                if name.endswith(BLOB_SUFFIX):
+                    digests.append(name[: -len(BLOB_SUFFIX)])
+            if not page.get("IsTruncated"):
+                break
+            token = page.get("NextContinuationToken")
+        return sorted(digests)
+
+    def stat(self, digest: str) -> "RemoteStat | None":
+        try:
+            head = self.client.head_object(Bucket=self.bucket, Key=self._blob_key(digest))
+        except Exception:
+            return None
+        return RemoteStat(digest=digest, nbytes=int(head["ContentLength"]))
+
+    def get_manifest(self) -> "bytes | None":
+        try:
+            return self.client.get_object(Bucket=self.bucket, Key=self._key(MANIFEST_NAME))["Body"].read()
+        except Exception:
+            return None
+
+    def put_manifest(self, data: bytes) -> None:
+        self.client.put_object(Bucket=self.bucket, Key=self._key(MANIFEST_NAME), Body=data)
+
+    @contextmanager
+    def lock(self) -> Iterator[None]:
+        yield  # object stores: last-writer-wins; anti-entropy converges it
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"S3Remote(bucket={self.bucket!r}, prefix={self.prefix!r})"
+
+
+# -- blob packing ----------------------------------------------------------------
+
+
+def pack_entry(entry_dir: "str | Path", dest: "str | Path") -> str:
+    """Pack one complete store entry into a deterministic blob tar.
+
+    Only the payload files the entry's own integrity manifest names (plus
+    ``meta.json`` itself) are packed, in sorted order with zeroed tar
+    metadata — so equal entry bytes always pack to byte-identical blobs,
+    and every replica computes the same blob digest for the same key.
+    Returns the blob's SHA-256 (the fleet manifest's integrity field).
+    """
+    entry_dir = Path(entry_dir)
+    meta = json.loads((entry_dir / "meta.json").read_text())
+    manifest = meta.get("sha256")
+    if not isinstance(manifest, dict) or not manifest:
+        raise ValueError(f"entry {entry_dir.name} has no integrity manifest; refusing to pack")
+    with tarfile.open(dest, "w") as tar:
+        for name in ["meta.json", *sorted(manifest)]:
+            src = entry_dir / name
+            info = tarfile.TarInfo(name)
+            info.size = src.stat().st_size
+            info.mtime = 0
+            info.uid = info.gid = 0
+            info.uname = info.gname = ""
+            info.mode = 0o644
+            with open(src, "rb") as f:
+                tar.addfile(info, f)
+    return sha256_file(dest)
+
+
+def unpack_entry(blob: "str | Path", dest_dir: "str | Path") -> dict:
+    """Extract a fetched blob into ``dest_dir``; returns its ``meta.json``.
+
+    Member names are validated before extraction — flat regular files
+    only, no separators, no dotfiles — so a malicious or corrupt blob can
+    never write outside ``dest_dir``.  The store-internal ``.lock`` /
+    ``.last-used`` markers are recreated locally (they are machine-local
+    state and never travel).  Raises ``ValueError`` on anything short of
+    a complete, well-formed entry.
+    """
+    dest_dir = Path(dest_dir)
+    dest_dir.mkdir(parents=True, exist_ok=True)
+    try:
+        with tarfile.open(blob, "r") as tar:
+            members = tar.getmembers()
+            for member in members:
+                if not member.isreg() or "/" in member.name or "\\" in member.name or member.name.startswith("."):
+                    raise ValueError(f"unsafe blob member {member.name!r}")
+            tar.extractall(dest_dir, members=members, filter="data")
+    except tarfile.TarError as exc:
+        raise ValueError(f"unreadable blob {Path(blob).name}: {exc}") from exc
+    meta_path = dest_dir / "meta.json"
+    if not meta_path.is_file():
+        raise ValueError(f"blob {Path(blob).name} holds no meta.json")
+    try:
+        meta = json.loads(meta_path.read_text())
+    except ValueError as exc:
+        raise ValueError(f"blob {Path(blob).name} holds corrupt meta.json: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise ValueError(f"blob {Path(blob).name} holds non-object meta.json")
+    (dest_dir / ".lock").touch()
+    (dest_dir / ".last-used").touch()
+    return meta
+
+
+# -- the signed fleet manifest ---------------------------------------------------
+
+
+def _canonical(doc: dict) -> bytes:
+    """The byte string signatures are computed over (sorted, compact)."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+@dataclass
+class FleetManifest:
+    """The fleet's corpus description: digest → blob integrity record.
+
+    ``entries`` maps a store entry digest to ``{"sha256": <blob hash>,
+    "nbytes": <blob size>, "key": <DesignKey JSON object>}``.
+    ``generation`` is a monotonic write counter — diagnostics only (the
+    manifest carries no authority over content; blobs and entries verify
+    themselves), so a lost last-writer-wins update costs staleness, never
+    correctness.
+
+    >>> m = FleetManifest()
+    >>> m.record("ab" * 32, sha256="cd" * 32, nbytes=10,
+    ...          key=json.loads(DesignKey.for_stream(8, 4, root_seed=0).to_json()))
+    >>> FleetManifest.from_bytes(m.to_bytes(None), None).entries == m.entries
+    True
+    """
+
+    entries: "dict[str, dict]" = field(default_factory=dict)
+    generation: int = 0
+
+    def record(self, digest: str, *, sha256: str, nbytes: int, key: dict) -> None:
+        """Add (or replace) one blob's integrity record."""
+        self.entries[digest] = {"sha256": sha256, "nbytes": int(nbytes), "key": key}
+
+    def to_bytes(self, fleet_key: "bytes | None") -> bytes:
+        """Serialise; signed with ``fleet_key`` when one is configured."""
+        doc = {
+            "format_version": MANIFEST_FORMAT_VERSION,
+            "generation": int(self.generation),
+            "entries": self.entries,
+        }
+        if fleet_key:
+            doc = dict(doc, hmac=hmac.new(fleet_key, _canonical(doc), hashlib.sha256).hexdigest())
+        return json.dumps(doc, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes, fleet_key: "bytes | None") -> "FleetManifest":
+        """Parse + validate + (with a key) verify a manifest.
+
+        Raises :class:`ManifestError` on malformed JSON, a wrong format
+        version, ill-typed fields, an entry whose key does not parse as a
+        :class:`~repro.designs.compiled.DesignKey`, or — when a fleet key
+        is configured — a missing or mismatching signature.  A mutated
+        manifest must always be rejected wholesale, never half-read.
+        """
+        try:
+            doc = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ManifestError(f"unparseable fleet manifest: {exc}") from exc
+        if not isinstance(doc, dict):
+            raise ManifestError("fleet manifest is not a JSON object")
+        if doc.get("format_version") != MANIFEST_FORMAT_VERSION:
+            raise ManifestError(f"unsupported fleet manifest format {doc.get('format_version')!r}")
+        signature = doc.pop("hmac", None)
+        if fleet_key:
+            if not isinstance(signature, str):
+                raise ManifestError("unsigned fleet manifest in a keyed fleet")
+            expected = hmac.new(fleet_key, _canonical(doc), hashlib.sha256).hexdigest()
+            if not hmac.compare_digest(signature, expected):
+                raise ManifestError("fleet manifest signature mismatch")
+        generation = doc.get("generation")
+        raw_entries = doc.get("entries")
+        if not isinstance(generation, int) or generation < 0 or not isinstance(raw_entries, dict):
+            raise ManifestError("fleet manifest has ill-typed generation/entries")
+        entries: "dict[str, dict]" = {}
+        for digest, record in raw_entries.items():
+            if not isinstance(digest, str) or not _HEX64.match(digest):
+                raise ManifestError(f"fleet manifest entry has malformed digest {digest!r}")
+            if not isinstance(record, dict):
+                raise ManifestError(f"fleet manifest entry {digest[:12]} is not an object")
+            sha, nbytes, key = record.get("sha256"), record.get("nbytes"), record.get("key")
+            if not isinstance(sha, str) or not _HEX64.match(sha):
+                raise ManifestError(f"fleet manifest entry {digest[:12]} has malformed sha256")
+            if not isinstance(nbytes, int) or nbytes < 0:
+                raise ManifestError(f"fleet manifest entry {digest[:12]} has malformed nbytes")
+            if not isinstance(key, dict):
+                raise ManifestError(f"fleet manifest entry {digest[:12]} has no key object")
+            try:
+                DesignKey.from_json(json.dumps(key))
+            except ValueError as exc:
+                raise ManifestError(f"fleet manifest entry {digest[:12]} has an invalid key: {exc}") from exc
+            entries[digest] = {"sha256": sha, "nbytes": nbytes, "key": key}
+        return cls(entries=entries, generation=generation)
+
+
+# -- ambient resolution ----------------------------------------------------------
+
+
+def parse_remote_spec(spec: str) -> RemoteTier:
+    """Build a transport from a spec string.
+
+    ``s3://bucket/prefix`` is an :class:`S3Remote`; anything else is a
+    directory path for :class:`LocalDirRemote`.
+    """
+    spec = spec.strip()
+    if not spec:
+        raise ValueError("empty remote spec")
+    if spec.startswith("s3://"):
+        rest = spec[len("s3://"):]
+        bucket, _, prefix = rest.partition("/")
+        return S3Remote(bucket, prefix)
+    return LocalDirRemote(spec)
+
+
+def resolve_remote_tier(remote: "RemoteTier | str | Path | None" = None) -> "RemoteTier | None":
+    """Resolve a ``remote=`` argument against the ambient configuration.
+
+    An explicit transport object or spec wins; otherwise
+    ``REPRO_DESIGN_STORE_REMOTE`` opts the process into the fleet tier.
+    Unset means ``None`` — every store path bit-identical to the fleet
+    tier never existing.
+    """
+    if remote is not None:
+        if isinstance(remote, (str, Path)):
+            return parse_remote_spec(str(remote))
+        return remote
+    spec = os.environ.get(FLEET_REMOTE_ENV, "").strip()
+    return parse_remote_spec(spec) if spec else None
+
+
+def resolve_fleet_key(fleet_key: "bytes | str | None" = None) -> "bytes | None":
+    """Resolve the manifest-signing key (argument wins over the environment)."""
+    if fleet_key is not None:
+        return fleet_key.encode("utf-8") if isinstance(fleet_key, str) else bytes(fleet_key)
+    raw = os.environ.get(FLEET_KEY_ENV, "")
+    return raw.encode("utf-8") if raw else None

@@ -16,6 +16,7 @@ MODULES_WITH_DOCTESTS = [
     "repro.designs.compiled",
     "repro.designs.protocol",
     "repro.designs.registry",
+    "repro.designs.remote",
     "repro.designs.store",
     "repro.faults.plan",
     "repro.serve.breaker",

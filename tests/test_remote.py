@@ -1,0 +1,455 @@
+"""The fleet tier (L3): transports, blobs, the signed manifest, anti-entropy.
+
+Four contracts under test:
+
+1. **transports** — :class:`LocalDirRemote` and :class:`S3Remote` (via an
+   in-memory duck-typed client) move blobs and the manifest atomically,
+   and ``parse_remote_spec`` routes specs to the right one;
+2. **blobs** — ``pack_entry`` is deterministic (equal entries pack to
+   byte-identical blobs on every replica) and ``unpack_entry`` refuses
+   unsafe or malformed members, so a blob can never escape its staging
+   directory or half-install;
+3. **layering** — read-through on an L2 miss attaches bit-identical
+   designs with zero local compiles, write-through publishes after a
+   local compile (sync, async and readonly modes), a dead remote
+   degrades to a plain local store, and with the remote unset nothing
+   changes at all (the PR-over-PR parity guarantee);
+4. **anti-entropy** — divergent replicas converge to identical entry
+   sets, a stale manifest is repaired without re-uploading, and a
+   wrong-keyed manifest is rejected wholesale while content still flows
+   through the (verified) listing fallback.
+"""
+
+import io
+import json
+import tarfile
+import time
+
+import numpy as np
+import pytest
+
+from repro.designs import (
+    DesignKey,
+    DesignStore,
+    FleetManifest,
+    LocalDirRemote,
+    ManifestError,
+    RemoteStat,
+    RemoteTier,
+    S3Remote,
+    compile_from_key,
+    parse_remote_spec,
+    reset_default_design_store,
+    resolve_design_store,
+    resolve_remote_tier,
+)
+from repro.designs.remote import pack_entry, sha256_file, unpack_entry
+from repro.designs.store import DESIGN_STORE_BYTES_ENV, DESIGN_STORE_ENV
+from repro.designs.remote import FLEET_KEY_ENV, FLEET_REMOTE_ENV, MANIFEST_NAME
+
+KEY = DesignKey.for_stream(180, 24, root_seed=31)
+OTHER = DesignKey.for_stream(180, 24, root_seed=32)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient(monkeypatch):
+    for env in (DESIGN_STORE_ENV, DESIGN_STORE_BYTES_ENV, FLEET_REMOTE_ENV, FLEET_KEY_ENV):
+        monkeypatch.delenv(env, raising=False)
+    reset_default_design_store()
+    yield
+    reset_default_design_store()
+
+
+@pytest.fixture
+def remote(tmp_path):
+    return LocalDirRemote(tmp_path / "remote")
+
+
+def _store(tmp_path, name, **kwargs):
+    return DesignStore(tmp_path / name, **kwargs)
+
+
+def _publish(store, key=KEY):
+    store.publish(compile_from_key(key))
+    return store.digest(key)
+
+
+class _FakeS3Client:
+    """In-memory object store speaking the minimal S3 surface (2-key pages)."""
+
+    def __init__(self):
+        self.objects = {}
+
+    def get_object(self, Bucket, Key):
+        if Key not in self.objects:
+            raise KeyError(Key)
+        return {"Body": io.BytesIO(self.objects[Key])}
+
+    def put_object(self, Bucket, Key, Body):
+        self.objects[Key] = Body if isinstance(Body, bytes) else Body.read()
+
+    def list_objects_v2(self, Bucket, Prefix, ContinuationToken=None):
+        keys = sorted(k for k in self.objects if k.startswith(Prefix))
+        start = int(ContinuationToken or 0)
+        page = {"Contents": [{"Key": k} for k in keys[start : start + 2]]}
+        if start + 2 < len(keys):
+            page["IsTruncated"] = True
+            page["NextContinuationToken"] = str(start + 2)
+        return page
+
+    def head_object(self, Bucket, Key):
+        if Key not in self.objects:
+            raise KeyError(Key)
+        return {"ContentLength": len(self.objects[Key])}
+
+
+class _DeadRemote:
+    """A transport whose every operation fails — the unplugged-network double."""
+
+    def fetch(self, digest, dest):
+        raise OSError("network down")
+
+    def publish(self, digest, path):
+        raise OSError("network down")
+
+    def list(self):
+        raise OSError("network down")
+
+    def stat(self, digest):
+        return None
+
+    def get_manifest(self):
+        raise OSError("network down")
+
+    def put_manifest(self, data):
+        raise OSError("network down")
+
+    def lock(self):
+        raise OSError("network down")
+
+
+class TestTransports:
+    def test_localdir_blob_roundtrip_list_stat(self, remote, tmp_path):
+        blob = tmp_path / "blob.tar"
+        blob.write_bytes(b"payload-bytes")
+        digest = "ab" * 32
+        assert remote.stat(digest) is None and remote.list() == []
+        remote.publish(digest, blob)
+        assert remote.list() == [digest]
+        assert remote.stat(digest) == RemoteStat(digest=digest, nbytes=len(b"payload-bytes"))
+        fetched = remote.fetch(digest, tmp_path / "fetched.tar")
+        assert fetched.read_bytes() == b"payload-bytes"
+        with pytest.raises(KeyError):
+            remote.fetch("cd" * 32, tmp_path / "nope.tar")
+        # No temp residue became a visible blob (complete-or-absent).
+        assert all(not p.name.startswith(".up-") for p in (remote.root / "blobs").iterdir())
+
+    def test_localdir_manifest_roundtrip(self, remote):
+        assert remote.get_manifest() is None
+        remote.put_manifest(b"manifest-bytes")
+        assert remote.get_manifest() == b"manifest-bytes"
+        with remote.lock():  # the advisory lock is re-entrant per open fd
+            remote.put_manifest(b"v2")
+        assert remote.get_manifest() == b"v2"
+
+    def test_s3_stub_blob_and_manifest_roundtrip(self, tmp_path):
+        s3 = S3Remote("bucket", "fleet/designs", client=_FakeS3Client())
+        blob = tmp_path / "blob.tar"
+        blob.write_bytes(b"s3-payload")
+        digests = sorted({"ab" * 32, "cd" * 32, "ef" * 32})
+        for digest in digests:
+            s3.publish(digest, blob)
+        assert s3.list() == digests  # 3 keys across 2 fake pages: pagination works
+        assert s3.stat(digests[0]).nbytes == len(b"s3-payload")
+        assert s3.stat("99" * 32) is None
+        assert s3.fetch(digests[0], tmp_path / "out.tar").read_bytes() == b"s3-payload"
+        with pytest.raises(KeyError):
+            s3.fetch("99" * 32, tmp_path / "out2.tar")
+        assert s3.get_manifest() is None
+        s3.put_manifest(b"m1")
+        assert s3.get_manifest() == b"m1"
+
+    def test_s3_backed_store_round_trips_a_design(self, tmp_path):
+        s3 = S3Remote("bucket", client=_FakeS3Client())
+        a = _store(tmp_path, "a", remote=s3)
+        _publish(a)
+        b = _store(tmp_path, "b", remote=s3)
+        attached = b.get(KEY)
+        assert attached is not None
+        assert np.array_equal(np.asarray(attached.dstar), compile_from_key(KEY).dstar)
+        assert b.stats.remote_hits == 1
+
+    def test_parse_remote_spec_routes(self, tmp_path):
+        s3 = parse_remote_spec("s3://bucket/some/prefix")
+        assert isinstance(s3, S3Remote) and (s3.bucket, s3.prefix) == ("bucket", "some/prefix")
+        local = parse_remote_spec(str(tmp_path / "r"))
+        assert isinstance(local, LocalDirRemote)
+        with pytest.raises(ValueError):
+            parse_remote_spec("   ")
+        with pytest.raises(ValueError):
+            S3Remote("", client=_FakeS3Client())
+
+    def test_transports_satisfy_the_protocol(self, remote):
+        assert isinstance(remote, RemoteTier)
+        assert isinstance(S3Remote("b", client=_FakeS3Client()), RemoteTier)
+
+
+class TestBlobFormat:
+    def test_pack_is_deterministic_across_replicas(self, tmp_path):
+        a = _store(tmp_path, "a")
+        b = _store(tmp_path, "b")
+        digest = _publish(a)
+        assert _publish(b) == digest
+        blob_a, blob_b = tmp_path / "a.tar", tmp_path / "b.tar"
+        sha_a = pack_entry(a.entry_dir(KEY), blob_a)
+        sha_b = pack_entry(b.entry_dir(KEY), blob_b)
+        assert sha_a == sha_b  # byte-identical blobs from independent compiles
+        assert blob_a.read_bytes() == blob_b.read_bytes()
+        assert sha256_file(blob_a) == sha_a
+
+    def test_unpack_roundtrip_restores_payload_and_local_markers(self, tmp_path):
+        store = _store(tmp_path, "a")
+        _publish(store)
+        entry = store.entry_dir(KEY)
+        blob = tmp_path / "blob.tar"
+        pack_entry(entry, blob)
+        out = tmp_path / "restored"
+        meta = unpack_entry(blob, out)
+        assert meta == json.loads((entry / "meta.json").read_text())
+        for name in meta["sha256"]:
+            assert (out / name).read_bytes() == (entry / name).read_bytes()
+        assert (out / ".lock").exists() and (out / ".last-used").exists()
+
+    @pytest.mark.parametrize("name", ["../evil", "sub/dir.npy", ".lock", "c\\d"])
+    def test_unpack_rejects_unsafe_members(self, tmp_path, name):
+        blob = tmp_path / "evil.tar"
+        with tarfile.open(blob, "w") as tar:
+            info = tarfile.TarInfo(name)
+            info.size = 4
+            tar.addfile(info, io.BytesIO(b"evil"))
+        with pytest.raises(ValueError, match="unsafe blob member"):
+            unpack_entry(blob, tmp_path / "out")
+
+    def test_unpack_rejects_garbage_and_missing_meta(self, tmp_path):
+        junk = tmp_path / "junk.tar"
+        junk.write_bytes(b"not a tar at all")
+        with pytest.raises(ValueError, match="unreadable blob"):
+            unpack_entry(junk, tmp_path / "out1")
+        no_meta = tmp_path / "nometa.tar"
+        with tarfile.open(no_meta, "w") as tar:
+            info = tarfile.TarInfo("dstar.npy")
+            info.size = 4
+            tar.addfile(info, io.BytesIO(b"data"))
+        with pytest.raises(ValueError, match="no meta.json"):
+            unpack_entry(no_meta, tmp_path / "out2")
+
+    def test_pack_refuses_entries_without_a_manifest(self, tmp_path):
+        store = _store(tmp_path, "a")
+        _publish(store)
+        entry = store.entry_dir(KEY)
+        meta = json.loads((entry / "meta.json").read_text())
+        del meta["sha256"]
+        (entry / "meta.json").write_text(json.dumps(meta))
+        with pytest.raises(ValueError, match="no integrity manifest"):
+            pack_entry(entry, tmp_path / "blob.tar")
+
+
+class TestReadThroughAndWriteThrough:
+    def test_second_store_decodes_warm_from_the_remote(self, tmp_path, remote):
+        a = _store(tmp_path, "a", remote=remote)
+        compiles = []
+
+        def factory():
+            compiles.append(1)
+            return compile_from_key(KEY)
+
+        a.get_or_compile(KEY, factory)
+        assert len(compiles) == 1 and a.stats.remote_publishes == 1
+
+        b = _store(tmp_path, "b", remote=remote)
+        warm = b.get_or_compile(KEY, lambda: pytest.fail("machine B must never compile"))
+        fresh = compile_from_key(KEY)
+        assert np.array_equal(np.asarray(warm.dstar), fresh.dstar)
+        assert np.array_equal(np.asarray(warm.delta), fresh.delta)
+        assert np.array_equal(np.asarray(warm.design.entries), fresh.design.entries)
+        assert b.stats.remote_hits == 1 and b.stats.publishes == 0
+        # The pulled entry is a first-class local entry now: cold restarts hit L2.
+        c = DesignStore(b.root)
+        assert c.get(KEY) is not None and c.stats.remote_hits == 0
+
+    def test_remote_miss_counts_and_falls_back_to_compile(self, tmp_path, remote):
+        store = _store(tmp_path, "a", remote=remote)
+        assert store.get(KEY) is None
+        assert store.stats.remote_misses == 1
+        compiled = store.get_or_compile(KEY, lambda: compile_from_key(KEY))
+        assert compiled is not None and KEY in store
+
+    def test_readonly_mode_never_publishes(self, tmp_path, remote):
+        store = _store(tmp_path, "a", remote=remote, remote_mode="readonly")
+        _publish(store)
+        assert remote.list() == [] and store.stats.remote_publishes == 0
+        # But read-through still works against a populated remote.
+        _publish(_store(tmp_path, "seed", remote=remote))  # sync write-through seeds it
+        b = _store(tmp_path, "b", remote=remote, remote_mode="readonly")
+        assert b.get(KEY) is not None and b.stats.remote_hits == 1
+
+    def test_async_mode_publishes_from_a_background_thread(self, tmp_path, remote):
+        store = _store(tmp_path, "a", remote=remote, remote_mode="async")
+        digest = _publish(store)
+        deadline = time.monotonic() + 30.0
+        while remote.stat(digest) is None:
+            assert time.monotonic() < deadline, "async write-through never landed"
+            time.sleep(0.01)
+        assert digest in remote.list()
+
+    def test_dead_remote_degrades_to_a_plain_local_store(self, tmp_path):
+        store = _store(tmp_path, "a", remote=_DeadRemote())
+        compiled = store.get_or_compile(KEY, lambda: compile_from_key(KEY))  # publish swallows the failure
+        assert np.array_equal(np.asarray(compiled.dstar), compile_from_key(KEY).dstar)
+        assert KEY in store and store.stats.remote_publishes == 0
+        assert store.get(KEY) is not None  # L2 hit; the dead remote is never consulted
+
+    def test_invalid_remote_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="remote_mode"):
+            DesignStore(tmp_path / "a", remote_mode="eventually")
+
+    def test_remote_publish_requires_a_remote(self, tmp_path):
+        store = _store(tmp_path, "a")
+        with pytest.raises(RuntimeError, match="no remote tier"):
+            store.remote_publish(KEY)
+        with pytest.raises(RuntimeError, match="no remote tier"):
+            store.anti_entropy()
+
+
+class TestAntiEntropy:
+    def test_divergent_stores_converge_to_identical_entry_sets(self, tmp_path, remote):
+        a = _store(tmp_path, "a", remote=remote, remote_mode="readonly")
+        b = _store(tmp_path, "b", remote=remote, remote_mode="readonly")
+        _publish(a, KEY)
+        _publish(b, OTHER)
+        first = a.anti_entropy()
+        assert first.pushed == (a.digest(KEY),) and first.pulled == () and first.generation == 1
+        second = b.anti_entropy()
+        assert set(second.pushed) == {b.digest(OTHER)}
+        assert set(second.pulled) == {a.digest(KEY)}
+        third = a.anti_entropy()
+        assert third.pulled == (a.digest(OTHER),) and third.pushed == ()
+        assert {e.digest for e in a.ls()} == {e.digest for e in b.ls()}
+        # Converged: one more sweep on each side moves nothing.
+        assert not a.anti_entropy().changed and not b.anti_entropy().changed
+        for key in (KEY, OTHER):
+            da, db = a.get(key), b.get(key)
+            assert np.array_equal(np.asarray(da.dstar), np.asarray(db.dstar))
+
+    def test_stale_manifest_is_repaired_without_reupload(self, tmp_path, remote):
+        a = _store(tmp_path, "a", remote=remote)
+        digest = _publish(a)
+        (remote.root / MANIFEST_NAME).unlink()  # a crashed publisher's legacy
+        blob_mtime = (remote.root / "blobs" / f"{digest}.tar").stat().st_mtime_ns
+        report = a.anti_entropy()
+        assert report.pushed == () and report.pulled == ()  # nothing crossed the wire
+        manifest = FleetManifest.from_bytes(remote.get_manifest(), None)
+        assert digest in manifest.entries  # but the record was rebuilt locally
+        assert (remote.root / "blobs" / f"{digest}.tar").stat().st_mtime_ns == blob_mtime
+
+    def test_generation_is_monotonic_across_writers(self, tmp_path, remote):
+        a = _store(tmp_path, "a", remote=remote, remote_mode="readonly")
+        b = _store(tmp_path, "b", remote=remote, remote_mode="readonly")
+        _publish(a, KEY)
+        _publish(b, OTHER)
+        g1 = a.anti_entropy().generation
+        g2 = b.anti_entropy().generation
+        assert g2 > g1 >= 1
+
+    def test_pull_only_and_push_only_sweeps(self, tmp_path, remote):
+        a = _store(tmp_path, "a", remote=remote)
+        _publish(a, KEY)
+        b = _store(tmp_path, "b", remote=remote, remote_mode="readonly")
+        _publish(b, OTHER)
+        pull_only = b.anti_entropy(push=False)
+        assert pull_only.pulled == (b.digest(KEY),) and pull_only.pushed == ()
+        assert b.digest(OTHER) not in set(remote.list())
+        push_only = b.anti_entropy(pull=False)
+        assert push_only.pushed == (b.digest(OTHER),) and push_only.pulled == ()
+
+
+class TestFleetKey:
+    def test_wrong_key_rejects_manifest_but_content_still_flows(self, tmp_path, remote):
+        a = _store(tmp_path, "a", remote=remote, fleet_key="alpha-secret")
+        _publish(a)
+        b = _store(tmp_path, "b", remote=remote, fleet_key="beta-secret")
+        attached = b.get(KEY)  # manifest rejected wholesale → listing fallback
+        assert attached is not None
+        assert b.stats.remote_manifest_rejected >= 1
+        assert b.persistent_stats()["remote_manifest_rejected"] >= 1
+        assert np.array_equal(np.asarray(attached.dstar), compile_from_key(KEY).dstar)
+
+    def test_unsigned_manifest_rejected_in_a_keyed_fleet(self, tmp_path, remote):
+        unsigned = _store(tmp_path, "a", remote=remote)
+        _publish(unsigned)
+        keyed = _store(tmp_path, "b", remote=remote, fleet_key="fleet-secret")
+        assert keyed.get(KEY) is not None  # content flows via the listing
+        assert keyed.stats.remote_manifest_rejected >= 1
+
+    def test_matching_keys_verify_end_to_end(self, tmp_path, remote, monkeypatch):
+        monkeypatch.setenv(FLEET_KEY_ENV, "shared-secret")
+        a = _store(tmp_path, "a", remote=remote)
+        _publish(a)
+        b = _store(tmp_path, "b", remote=remote)
+        assert b.get(KEY) is not None
+        assert b.stats.remote_manifest_rejected == 0
+        with pytest.raises(ManifestError, match="signature"):
+            FleetManifest.from_bytes(remote.get_manifest(), b"the-wrong-key")
+
+
+class TestFsckRemote:
+    def test_remote_audit_reports_good_and_bitflipped_blobs(self, tmp_path, remote):
+        from repro.faults import bitflip_file
+
+        a = _store(tmp_path, "a", remote=remote)
+        _publish(a, KEY)
+        _publish(a, OTHER)
+        clean = a.fsck(remote=True)
+        assert clean.remote_checked == 2 and len(clean.remote_ok) == 2 and clean.clean
+        bitflip_file(remote.root / "blobs" / f"{a.digest(OTHER)}.tar")
+        report = a.fsck(remote=True)
+        assert report.remote_checked == 2
+        assert report.remote_ok == (a.digest(KEY),)
+        assert report.remote_bad == (a.digest(OTHER),)
+        assert not report.clean
+
+    def test_local_fsck_does_not_touch_the_remote(self, tmp_path):
+        a = _store(tmp_path, "a", remote=_DeadRemote())
+        compiled = compile_from_key(KEY)
+        a.publish(compiled)
+        report = a.fsck()  # remote=False: must not trip over the dead transport
+        assert report.remote_checked == 0 and report.clean
+
+
+class TestAmbientResolution:
+    def test_env_opts_into_the_fleet_tier(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(DESIGN_STORE_ENV, str(tmp_path / "store"))
+        monkeypatch.setenv(FLEET_REMOTE_ENV, str(tmp_path / "remote"))
+        reset_default_design_store()
+        store = resolve_design_store()
+        assert store is not None and isinstance(store.remote, LocalDirRemote)
+        assert store.remote.root == tmp_path / "remote"
+
+    def test_unset_remote_env_leaves_stores_fleet_free(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(DESIGN_STORE_ENV, str(tmp_path / "store"))
+        reset_default_design_store()
+        store = resolve_design_store()
+        assert store is not None and store.remote is None
+        assert DesignStore(tmp_path / "explicit").remote is None
+
+    def test_explicit_remote_beats_the_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FLEET_REMOTE_ENV, str(tmp_path / "ambient"))
+        explicit = LocalDirRemote(tmp_path / "explicit")
+        assert resolve_remote_tier(explicit) is explicit
+        resolved = resolve_remote_tier(str(tmp_path / "spec"))
+        assert isinstance(resolved, LocalDirRemote) and resolved.root == tmp_path / "spec"
+        assert resolve_remote_tier().root == tmp_path / "ambient"
+
+    def test_constructor_never_reads_the_remote_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(FLEET_REMOTE_ENV, str(tmp_path / "ambient"))
+        assert DesignStore(tmp_path / "store").remote is None
